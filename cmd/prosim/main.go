@@ -1,0 +1,124 @@
+// Command prosim runs one Table II kernel (or all of them) under one or
+// more warp schedulers and prints runtime and stall statistics.
+//
+// Usage:
+//
+//	prosim -kernel scalarProdGPU -sched PRO,LRR
+//	prosim -all -sched TL,LRR,GTO,PRO
+//	prosim -program mykernel.k -grid 256 -block 128 -sched LRR,PRO
+//	prosim -list
+//
+// -program runs a kernel written in the text format of internal/isa
+// (see examples/kernels/*.k for the syntax).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/prosim"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "Table II kernel name to run")
+	scheds := flag.String("sched", "TL,LRR,GTO,PRO", "comma-separated scheduler list")
+	all := flag.Bool("all", false, "run every Table II kernel")
+	list := flag.Bool("list", false, "list workloads and exit")
+	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
+	div := flag.Bool("div", false, "also print warp-level-divergence metrics (finish disparity, barrier wait)")
+	program := flag.String("program", "", "path to a kernel in the text format (overrides -kernel/-all)")
+	grid := flag.Int("grid", 128, "grid size in TBs for -program")
+	block := flag.Int("block", 128, "threads per TB for -program")
+	regs := flag.Int("regs", 16, "registers per thread for -program")
+	smem := flag.Int("smem", 0, "shared memory per TB in bytes for -program")
+	seed := flag.Uint64("seed", 1, "kernel seed for -program")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-28s %-10s %8s %6s %6s\n", "APP", "KERNEL", "SUITE", "PAPERTBS", "GRID", "BLOCK")
+		for _, w := range prosim.AllWorkloads() {
+			fmt.Printf("%-12s %-28s %-10s %8d %6d %6d\n",
+				w.App, w.Kernel, w.Suite, w.PaperTBs, w.Launch.GridTBs, w.Launch.BlockThreads)
+		}
+		return
+	}
+
+	var targets []*prosim.Workload
+	switch {
+	case *program != "":
+		text, err := os.ReadFile(*program)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := isa.Parse(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		targets = []*prosim.Workload{{
+			App:    prog.Name,
+			Kernel: prog.Name,
+			Suite:  "custom",
+			Launch: &prosim.Launch{
+				Program:        prog,
+				GridTBs:        *grid,
+				BlockThreads:   *block,
+				RegsPerThread:  *regs,
+				SharedMemPerTB: *smem,
+				Seed:           *seed,
+			},
+		}}
+	case *all:
+		targets = prosim.AllWorkloads()
+	case *kernel != "":
+		w, err := prosim.WorkloadByKernel(*kernel)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []*prosim.Workload{w}
+	default:
+		fatal(fmt.Errorf("pass -kernel <name>, -program <file>, -all or -list"))
+	}
+
+	names := strings.Split(*scheds, ",")
+	fmt.Printf("%-28s %-9s %12s %8s %12s %12s %12s %8s",
+		"KERNEL", "SCHED", "CYCLES", "IPC", "IDLE", "SCOREBOARD", "PIPELINE", "L1MISS")
+	if *div {
+		fmt.Printf(" %10s %10s", "WDISP", "BARWAIT")
+	}
+	fmt.Println()
+	for _, w := range targets {
+		if *maxTBs > 0 {
+			w = w.Shrunk(*maxTBs)
+		}
+		var baseCycles int64
+		for i, name := range names {
+			name = strings.TrimSpace(name)
+			r, err := prosim.RunWorkload(w, name, prosim.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			speed := ""
+			if i == 0 {
+				baseCycles = r.Cycles
+			} else if r.Cycles > 0 {
+				speed = fmt.Sprintf("  %.3fx vs %s", float64(baseCycles)/float64(r.Cycles), names[0])
+			}
+			fmt.Printf("%-28s %-9s %12d %8.3f %12d %12d %12d %7.1f%%",
+				w.Kernel, r.Scheduler, r.Cycles, r.IPC(),
+				r.Stalls.Idle, r.Stalls.Scoreboard, r.Stalls.Pipeline,
+				100*r.Mem.L1MissRate())
+			if *div {
+				fmt.Printf(" %10.0f %10.0f", r.AvgWarpDisparity(), r.AvgBarrierWait())
+			}
+			fmt.Println(speed)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command report runs the paper's entire evaluation — all 25 Table II
+// kernels under TL, LRR, GTO and PRO — and emits every table and figure:
+// Fig. 1 (stall composition), Fig. 2 (TB timelines), Fig. 4 (speedups),
+// Fig. 5 / Table III (stall improvements) and Table IV (TB order trace).
+//
+// Usage:
+//
+//	report                 # full scaled grids (several minutes)
+//	report -maxtbs 100     # quick pass
+//	report -out results    # also write each artifact to results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+	"repro/internal/workloads"
+)
+
+func main() {
+	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
+	outDir := flag.String("out", "", "directory to write artifact files into (optional)")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress")
+	flag.Parse()
+
+	emit := func(name, content string) {
+		fmt.Println(content)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	start := time.Now()
+	progress := func(kernel, sched string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s / %s\n", time.Since(start).Seconds(), kernel, sched)
+		}
+	}
+
+	suite, err := experiments.RunSuite(workloads.All(),
+		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	writeFile := func(name, content string) {
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, sched := range experiments.BaselineOrder {
+		rows := suite.ComputeFig1(sched)
+		emit("fig1_"+sched+".txt", experiments.FormatFig1(sched, rows))
+		labels := make([]string, len(rows))
+		parts := make([][]float64, len(rows))
+		for i, r := range rows {
+			labels[i] = r.App
+			parts[i] = []float64{r.SBFrac, r.IdleFrac, r.PipeFrac}
+		}
+		writeFile("fig1_"+sched+".svg", viz.StackedShares(
+			"Fig. 1 ("+sched+") — stall composition", labels,
+			[]string{"scoreboard", "idle", "pipeline"}, parts))
+	}
+	f4 := suite.ComputeFig4()
+	emit("fig4.txt", experiments.FormatFig4(f4))
+	{
+		labels := make([]string, len(f4.Rows))
+		series := []viz.Series{{Name: "vs TL"}, {Name: "vs LRR"}, {Name: "vs GTO"}}
+		for i, r := range f4.Rows {
+			labels[i] = r.Kernel
+			series[0].Values = append(series[0].Values, r.Over["TL"])
+			series[1].Values = append(series[1].Values, r.Over["LRR"])
+			series[2].Values = append(series[2].Values, r.Over["GTO"])
+		}
+		writeFile("fig4.svg", viz.GroupedBars("Fig. 4 — PRO speedup over baselines", labels, series, 1.0))
+	}
+	t3 := suite.ComputeTable3()
+	emit("table3.txt", experiments.FormatTable3(t3))
+	emit("fig5.txt", experiments.FormatFig5(t3))
+	{
+		labels := make([]string, len(t3.Rows))
+		series := []viz.Series{{Name: "vs TL"}, {Name: "vs LRR"}, {Name: "vs GTO"}}
+		for i, r := range t3.Rows {
+			labels[i] = r.App
+			series[0].Values = append(series[0].Values, r.Over["TL"].Total)
+			series[1].Values = append(series[1].Values, r.Over["LRR"].Total)
+			series[2].Values = append(series[2].Values, r.Over["GTO"].Total)
+		}
+		writeFile("fig5.svg", viz.GroupedBars("Fig. 5 — total stall ratio (baseline/PRO)", labels, series, 1.0))
+	}
+
+	// Fig. 2: AES timelines under LRR and PRO on SM 0.
+	aes, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		fatal(err)
+	}
+	if *maxTBs > 0 {
+		aes = aes.Shrunk(*maxTBs)
+	}
+	for _, sched := range []string{"LRR", "PRO"} {
+		spans, r, err := experiments.Timeline(aes, sched, 0)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig2_"+sched+".txt", experiments.FormatTimeline(sched, spans, r.Cycles))
+		writeFile("fig2_"+sched+".svg", viz.Timeline(
+			fmt.Sprintf("Fig. 2 — AES thread blocks on SM 0 (%s)", sched), spans, r.Cycles))
+	}
+
+	// Table IV: AES under PRO with order tracing, first batch of TBs on
+	// SM 0 (the paper shows 16 samples for its first batch of 6 TBs).
+	samples, err := experiments.OrderTrace(aes, 0)
+	if err != nil {
+		fatal(err)
+	}
+	emit("table4.txt", experiments.FormatOrderTrace(samples, 16))
+
+	fmt.Fprintf(os.Stderr, "report completed in %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

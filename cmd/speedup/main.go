@@ -1,0 +1,45 @@
+// Command speedup regenerates the paper's Figure 4: per-kernel speedup
+// of PRO over the TL, LRR and GTO baselines, with geometric means.
+//
+// Usage:
+//
+//	speedup                  # full suite
+//	speedup -app ScalarProd  # one application's kernels
+//	speedup -maxtbs 100      # quick pass on shrunk grids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "", "restrict to one application (Table III name)")
+	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
+	quiet := flag.Bool("quiet", false, "suppress progress")
+	flag.Parse()
+
+	ws := workloads.All()
+	if *app != "" {
+		ws = workloads.ByApp(*app)
+		if len(ws) == 0 {
+			fmt.Fprintf(os.Stderr, "speedup: unknown application %q\n", *app)
+			os.Exit(1)
+		}
+	}
+	progress := func(kernel, sched string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s / %s\n", kernel, sched)
+		}
+	}
+	suite, err := experiments.RunSuite(ws, []string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatFig4(suite.ComputeFig4()))
+}

@@ -1,0 +1,152 @@
+// Command sweep runs the design-choice ablations:
+//
+//   - -ablate: PRO with and without special barrier handling, per kernel.
+//     Sec. IV reports scalarProd speeding up 11% with the handling
+//     disabled — the motivation for the paper's future-work profiling.
+//   - -threshold: sensitivity of PRO to the re-sort THRESHOLD
+//     (Sec. III-C.1 uses 1000 cycles).
+//
+// Usage:
+//
+//	sweep -ablate
+//	sweep -threshold -kernel aesEncrypt128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+	"repro/prosim"
+)
+
+func main() {
+	ablate := flag.Bool("ablate", false, "compare PRO vs PRO-nobar (barrier-handling ablation)")
+	variants := flag.Bool("variants", false, "compare PRO against the paper's future-work variants (PRO-adaptive, PRO-norm)")
+	threshold := flag.Bool("threshold", false, "sweep the PRO re-sort threshold")
+	cacheSweep := flag.Bool("cache", false, "sweep the L1 size (paper future work: cache behaviour of prioritized warps)")
+	kernels := flag.String("kernel", "scalarProdGPU,MonteCarloOneBlockPerOption,calculate_temp,aesEncrypt128",
+		"comma-separated kernels to sweep")
+	maxTBs := flag.Int("maxtbs", 0, "shrink grids (0 = full)")
+	flag.Parse()
+
+	if !*ablate && !*threshold && !*variants && !*cacheSweep {
+		*ablate, *threshold, *variants, *cacheSweep = true, true, true, true
+	}
+	var targets []*prosim.Workload
+	for _, name := range strings.Split(*kernels, ",") {
+		w, err := workloads.ByKernel(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		if *maxTBs > 0 {
+			w = w.Shrunk(*maxTBs)
+		}
+		targets = append(targets, w)
+	}
+
+	if *ablate {
+		fmt.Println("Ablation — PRO barrier handling (Sec. IV: scalarProd gains when disabled)")
+		fmt.Printf("%-28s %12s %12s %10s\n", "KERNEL", "PRO", "PRO-nobar", "nobar/PRO")
+		for _, w := range targets {
+			on, err := prosim.RunWorkload(w, "PRO", prosim.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			off, err := prosim.RunWorkload(w, "PRO-nobar", prosim.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-28s %12d %12d %9.3fx\n", w.Kernel, on.Cycles, off.Cycles,
+				float64(on.Cycles)/float64(off.Cycles))
+		}
+		fmt.Println()
+	}
+
+	if *variants {
+		names := []string{"PRO", "PRO-nobar", "PRO-adaptive", "PRO-norm"}
+		fmt.Println("Future-work variants (Sec. IV profiling, Sec. III-A normalized progress)")
+		fmt.Printf("%-28s", "KERNEL")
+		for _, n := range names {
+			fmt.Printf(" %13s", n)
+		}
+		fmt.Println()
+		for _, w := range targets {
+			fmt.Printf("%-28s", w.Kernel)
+			for _, n := range names {
+				r, err := prosim.RunWorkload(w, n, prosim.Options{})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf(" %13d", r.Cycles)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if *cacheSweep {
+		runCacheSweep(targets)
+	}
+
+	if *threshold {
+		thresholds := []int64{250, 500, 1000, 2000, 4000}
+		fmt.Println("Ablation — PRO re-sort THRESHOLD (paper uses 1000 cycles)")
+		fmt.Printf("%-28s", "KERNEL")
+		for _, th := range thresholds {
+			fmt.Printf(" %9d", th)
+		}
+		fmt.Println()
+		for _, w := range targets {
+			fmt.Printf("%-28s", w.Kernel)
+			for _, th := range thresholds {
+				r, err := prosim.RunFactory(prosim.GTX480(), w.Launch,
+					prosim.PRO(core.WithThreshold(th)), prosim.Options{})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf(" %9d", r.Cycles)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+// runCacheSweep sweeps the per-SM L1 capacity for the given workloads
+// under LRR and PRO, printing cycles and L1 miss rate at each point.
+// The paper's future work targets "improving cache and memory
+// performance of high priority warps"; this sweep shows how much
+// headroom the L1 leaves on each kernel.
+func runCacheSweep(targets []*prosim.Workload) {
+	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	fmt.Println("Sensitivity — L1 capacity (cycles @ L1 miss rate)")
+	fmt.Printf("%-28s %-5s", "KERNEL", "SCHED")
+	for _, s := range sizes {
+		fmt.Printf(" %16s", fmt.Sprintf("L1=%dKB", s>>10))
+	}
+	fmt.Println()
+	for _, w := range targets {
+		for _, sched := range []string{"LRR", "PRO"} {
+			fmt.Printf("%-28s %-5s", w.Kernel, sched)
+			for _, size := range sizes {
+				cfg := prosim.GTX480()
+				cfg.L1Size = size
+				r, err := prosim.Run(cfg, w.Launch, sched, prosim.Options{})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf(" %10d@%4.1f%%", r.Cycles, 100*r.Mem.L1MissRate())
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}

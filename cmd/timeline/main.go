@@ -1,0 +1,48 @@
+// Command timeline regenerates the paper's Figure 2: the lifetimes of
+// the thread blocks executed by one SM under LRR and under PRO. Under
+// LRR the TBs run in lock-step batches; under PRO they are staggered, so
+// fresh TBs overlap the execution of old ones.
+//
+// Usage:
+//
+//	timeline                          # AES on SM 0 (the paper's setup)
+//	timeline -kernel scalarProdGPU -sm 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	kernel := flag.String("kernel", "aesEncrypt128", "Table II kernel to trace")
+	smID := flag.Int("sm", 0, "SM to plot")
+	maxTBs := flag.Int("maxtbs", 0, "shrink grid (0 = full)")
+	flag.Parse()
+
+	w, err := workloads.ByKernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxTBs > 0 {
+		w = w.Shrunk(*maxTBs)
+	}
+	for _, sched := range []string{"LRR", "PRO"} {
+		spans, r, err := experiments.Timeline(w, sched, *smID)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTimeline(
+			fmt.Sprintf("%s / %s, %d cycles total", *kernel, sched, r.Cycles), spans, r.Cycles))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timeline:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command trace emits a sampled time series of one simulation as CSV:
+// per-window IPC, stall composition, resident and pending thread
+// blocks. It makes the paper's phase arguments visible — compute vs
+// memory phases, the fastTBPhase→slowTBPhase transition, batch
+// boundaries under LRR, and their disappearance under PRO.
+//
+// Usage:
+//
+//	trace -kernel scalarProdGPU -sched LRR -every 500 > lrr.csv
+//	trace -kernel scalarProdGPU -sched PRO -every 500 > pro.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workloads"
+	"repro/prosim"
+)
+
+func main() {
+	kernel := flag.String("kernel", "scalarProdGPU", "Table II kernel to trace")
+	sched := flag.String("sched", "PRO", "scheduler")
+	every := flag.Int64("every", 1000, "sampling window in cycles")
+	maxTBs := flag.Int("maxtbs", 0, "shrink grid (0 = full)")
+	flag.Parse()
+
+	w, err := workloads.ByKernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxTBs > 0 {
+		w = w.Shrunk(*maxTBs)
+	}
+	r, err := prosim.RunWorkload(w, *sched, prosim.Options{SampleEvery: *every})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("cycle,ipc,issued,idle,scoreboard,pipeline,resident_tbs,pending_tbs")
+	for _, s := range r.Samples {
+		fmt.Printf("%d,%.4f,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, s.IPC(*every),
+			s.Stalls.Issued, s.Stalls.Idle, s.Stalls.Scoreboard, s.Stalls.Pipeline,
+			s.ResidentTBs, s.PendingTBs)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %s/%s: %d cycles, %d samples\n",
+		w.Kernel, r.Scheduler, r.Cycles, len(r.Samples))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

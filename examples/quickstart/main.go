@@ -1,0 +1,42 @@
+// Quickstart: simulate one Table II kernel under LRR and PRO and print
+// the headline comparison — the five-minute tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/prosim"
+)
+
+func main() {
+	// scalarProdGPU is the paper's most scheduler-sensitive kernel: a
+	// dot product whose warps accumulate unevenly and then meet at a
+	// reduction-tree of barriers.
+	w, err := prosim.WorkloadByKernel("scalarProdGPU")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s (%s), %d thread blocks of %d threads\n\n",
+		w.Kernel, w.App, w.Launch.GridTBs, w.Launch.BlockThreads)
+
+	base, err := prosim.RunWorkload(w, "LRR", prosim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pro, err := prosim.RunWorkload(w, "PRO", prosim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range []*prosim.Result{base, pro} {
+		fmt.Printf("%-4s  %8d cycles  IPC %.3f  stalls: idle=%d scoreboard=%d pipeline=%d\n",
+			r.Scheduler, r.Cycles, r.IPC(),
+			r.Stalls.Idle, r.Stalls.Scoreboard, r.Stalls.Pipeline)
+	}
+	fmt.Printf("\nPRO speedup over LRR: %.3fx\n", pro.Speedup(base))
+	fmt.Printf("PRO hardware cost on this GPU: %d bytes per SM (paper: 240)\n",
+		prosim.HardwareCostBytes(prosim.GTX480()))
+}

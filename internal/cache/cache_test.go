@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func line(i int) uint64 { return uint64(i) * 128 }
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := MustNew(16*1024, 4, 128)
+	if c.Access(line(1)) {
+		t.Fatal("cold cache reported a hit")
+	}
+	c.Fill(line(1))
+	if !c.Access(line(1)) {
+		t.Fatal("filled line missed")
+	}
+	if c.Accesses != 2 || c.Misses != 1 {
+		t.Fatalf("counters = (%d acc, %d miss), want (2, 1)", c.Accesses, c.Misses)
+	}
+}
+
+func TestProbeDoesNotCount(t *testing.T) {
+	c := MustNew(16*1024, 4, 128)
+	c.Fill(line(3))
+	if !c.Probe(line(3)) || c.Probe(line(4)) {
+		t.Fatal("Probe gave wrong presence")
+	}
+	if c.Accesses != 0 {
+		t.Fatal("Probe counted as an access")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 2-way, 1 set: size = 2*128.
+	c := MustNew(256, 2, 128)
+	if c.Sets() != 1 {
+		t.Fatalf("expected 1 set, got %d", c.Sets())
+	}
+	c.Fill(line(0))
+	c.Fill(line(1))
+	c.Access(line(0)) // 0 becomes MRU
+	c.Fill(line(2))   // must evict 1 (LRU)
+	if !c.Probe(line(0)) {
+		t.Fatal("MRU line 0 was evicted")
+	}
+	if c.Probe(line(1)) {
+		t.Fatal("LRU line 1 survived eviction")
+	}
+	if !c.Probe(line(2)) {
+		t.Fatal("newly filled line 2 absent")
+	}
+}
+
+func TestConflictMissesWithinOneSet(t *testing.T) {
+	// 4-way cache: 5 lines mapping to the same set cannot all reside.
+	c := MustNew(16*1024, 4, 128)
+	sets := c.Sets()
+	for i := 0; i < 5; i++ {
+		c.Fill(uint64(i*sets) * 128) // same set index, different tags
+	}
+	resident := 0
+	for i := 0; i < 5; i++ {
+		if c.Probe(uint64(i*sets) * 128) {
+			resident++
+		}
+	}
+	if resident != 4 {
+		t.Fatalf("%d lines resident in a 4-way set, want 4", resident)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(16*1024, 4, 128)
+	c.Fill(line(9))
+	if !c.Invalidate(line(9)) {
+		t.Fatal("Invalidate missed a present line")
+	}
+	if c.Probe(line(9)) {
+		t.Fatal("line present after Invalidate")
+	}
+	if c.Invalidate(line(9)) {
+		t.Fatal("Invalidate hit an absent line")
+	}
+}
+
+func TestRefillSameLineNoDuplicate(t *testing.T) {
+	c := MustNew(256, 2, 128)
+	c.Fill(line(5))
+	c.Fill(line(5)) // refresh, not duplicate
+	c.Fill(line(6))
+	// Both must fit: the double-fill must not have consumed two ways.
+	if !c.Probe(line(5)) || !c.Probe(line(6)) {
+		t.Fatal("double Fill consumed an extra way")
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	cases := []struct{ size, assoc, line int }{
+		{0, 4, 128}, {1024, 0, 128}, {1024, 4, 0},
+		{1024, 4, 100},    // non-pow2 line
+		{1000, 4, 128},    // not divisible
+		{3 * 128, 1, 128}, // 3 sets: not a power of two
+	}
+	for _, cs := range cases {
+		if _, err := New(cs.size, cs.assoc, cs.line); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted bad geometry", cs.size, cs.assoc, cs.line)
+		}
+	}
+}
+
+func TestPropertyFillMakesResidentUntilEnoughConflicts(t *testing.T) {
+	// After Fill(x), x stays resident as long as fewer than assoc other
+	// lines mapping to x's set are filled.
+	f := func(tag uint8, others []uint8) bool {
+		c := MustNew(4*1024, 4, 128) // 8 sets
+		sets := uint64(c.Sets())
+		x := uint64(tag) * sets * 128 // set 0
+		c.Fill(x)
+		n := 0
+		for _, o := range others {
+			if n >= 3 {
+				break
+			}
+			y := (uint64(o) + 1 + uint64(tag)) * sets * 128 // set 0, distinct tags
+			if y == x {
+				continue
+			}
+			c.Fill(y)
+			n++
+		}
+		return c.Probe(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(16*1024, 4, 128)
+	c.Fill(line(1))
+	c.Access(line(1))
+	c.Reset()
+	if c.Probe(line(1)) || c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("Reset left residue")
+	}
+}

@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRAllocateMergeFill(t *testing.T) {
+	m := NewMSHR(4, 3)
+	var fired []int
+	w := func(id int) func(int64) { return func(int64) { fired = append(fired, id) } }
+
+	if got := m.Add(128, w(0)); got != Allocated {
+		t.Fatalf("first Add = %v, want Allocated", got)
+	}
+	if got := m.Add(128, w(1)); got != Merged {
+		t.Fatalf("second Add = %v, want Merged", got)
+	}
+	if !m.Pending(128) || m.InFlight() != 1 {
+		t.Fatal("entry bookkeeping wrong")
+	}
+	m.Fill(128, 99)
+	if m.Pending(128) || m.InFlight() != 0 {
+		t.Fatal("entry survived Fill")
+	}
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 1 {
+		t.Fatalf("waiters fired %v, want [0 1] in registration order", fired)
+	}
+}
+
+func TestMSHRMergeLimit(t *testing.T) {
+	m := NewMSHR(4, 2)
+	m.Add(128, func(int64) {})
+	m.Add(128, func(int64) {})
+	if got := m.Add(128, func(int64) {}); got != Refused {
+		t.Fatalf("Add past merge limit = %v, want Refused", got)
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(2, 8)
+	m.Add(0, func(int64) {})
+	m.Add(128, func(int64) {})
+	if got := m.Add(256, func(int64) {}); got != Refused {
+		t.Fatalf("Add past capacity = %v, want Refused", got)
+	}
+	// Merging into existing entries still works at capacity.
+	if got := m.Add(0, func(int64) {}); got != Merged {
+		t.Fatalf("merge at capacity = %v, want Merged", got)
+	}
+	m.Fill(0, 1)
+	if got := m.Add(256, func(int64) {}); got != Allocated {
+		t.Fatalf("Add after Fill freed a slot = %v, want Allocated", got)
+	}
+}
+
+func TestMSHRCanAcceptMatchesAdd(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewMSHR(3, 2)
+		for _, op := range ops {
+			ln := uint64(op%5) * 128
+			ok, _ := m.CanAccept(ln, 0)
+			got := m.Add(ln, func(int64) {})
+			if ok != (got != Refused) {
+				return false
+			}
+			if m.InFlight() == 3 && got == Allocated && m.InFlight() > 3 {
+				return false
+			}
+		}
+		return m.InFlight() <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRCanAcceptExtraAllocs(t *testing.T) {
+	m := NewMSHR(2, 8)
+	m.Add(0, func(int64) {})
+	// One free slot left: a hypothetical batch that already consumed it
+	// must be refused.
+	if ok, _ := m.CanAccept(128, 1); ok {
+		t.Fatal("CanAccept ignored extraAllocs")
+	}
+	if ok, alloc := m.CanAccept(128, 0); !ok || !alloc {
+		t.Fatal("CanAccept with free slot should allocate")
+	}
+}
+
+func TestMSHRFillUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fill of unknown line did not panic")
+		}
+	}()
+	NewMSHR(2, 2).Fill(0, 1)
+}
+
+func TestMSHRWaiterSeesFillCycle(t *testing.T) {
+	m := NewMSHR(2, 2)
+	var at int64
+	m.Add(128, func(c int64) { at = c })
+	m.Fill(128, 12345)
+	if at != 12345 {
+		t.Fatalf("waiter saw cycle %d, want 12345", at)
+	}
+}

@@ -1,0 +1,426 @@
+// Package core implements PRO, the Progress Aware warp scheduling
+// algorithm of Anantpur & Govindarajan (IPDPS 2015) — the paper's primary
+// contribution.
+//
+// PRO prioritizes thread blocks and the warps inside them by *progress*
+// (thread-instructions executed), with a small state machine per TB
+// (paper Fig. 3) and two kernel-level phases:
+//
+//   - fastTBPhase (TBs still waiting in the Thread Block Scheduler):
+//     priority finishWait > barrierWait > noWait. finishWait TBs sort by
+//     warps-finished descending (tie: progress descending); barrierWait
+//     TBs by warps-at-barrier descending (tie: progress descending);
+//     noWait TBs by progress descending (SRTF-like — most-progressed TB
+//     finishes soonest, freeing its slot for a fresh TB). Warps inside
+//     finishWait/barrierWait TBs sort by progress ascending (help the
+//     stragglers); inside noWait TBs by progress descending.
+//
+//   - slowTBPhase (last TB assigned): finishWait and noWait merge into
+//     finishNoWait, sorted by progress ascending (shrink the straggler
+//     tail), warps ascending; barrierWait TBs keep top priority.
+//
+// TB and warp orders for the noWait/finishNoWait group refresh every
+// THRESHOLD cycles (1000 in the paper); barrier/finish groups re-sort on
+// the events that change them, mirroring Algorithm 1's
+// insertBarrierWarp / insertFinishWarp procedures.
+//
+// Note on Algorithm 1 line 59: the pseudocode says sortTBs(remTBs,
+// INC_ORDER) unconditionally, while the prose (Sec. III-C.1) and Table IV
+// are explicit that noWait TBs in fastTBPhase sort by *decreasing*
+// progress. This implementation follows the prose — decreasing in
+// fastTBPhase, increasing in slowTBPhase — and records the discrepancy in
+// DESIGN.md.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// DefaultThreshold is the paper's re-sort interval (Sec. III-C.1).
+const DefaultThreshold = 1000
+
+type tbState uint8
+
+const (
+	stNoWait tbState = iota
+	stBarrierWait
+	stFinishWait
+	stFinishNoWait
+)
+
+// tbEntry is PRO's per-TB bookkeeping: the state-machine state plus the
+// policy's priority-ordered view of the TB's warps.
+type tbEntry struct {
+	tb    *engine.ThreadBlock
+	state tbState
+	warps []*engine.Warp
+}
+
+// Policy is the PRO scheduler for one SM (serving both scheduler slots,
+// which share the SM-wide TB priority structure).
+type Policy struct {
+	engine.BasePolicy
+	sm *engine.SM
+
+	threshold       int64
+	barrierHandling bool
+	trace           bool
+
+	// normalize enables the Sec. III-A alternative progress metric
+	// (progress normalized by the mean size of completed TBs).
+	normalize       bool
+	completedTBs    int64
+	completedInstrs int64
+
+	// adaptive enables the Sec. IV future-work mechanism: profile the
+	// kernel online and enable/disable barrier special-handling per SM
+	// based on measured issue throughput.
+	adaptive *adaptiveState
+
+	slowPhase bool
+	lastSort  int64
+
+	entries map[*engine.ThreadBlock]*tbEntry
+	finish  []*tbEntry // finishWait TBs, priority order
+	barrier []*tbEntry // barrierWait / barrierWait1 TBs, priority order
+	rem     []*tbEntry // noWait (fast) or finishNoWait (slow), priority order
+
+	samples []stats.OrderSample
+}
+
+// Option configures the policy.
+type Option func(*Policy)
+
+// WithThreshold sets the TB/warp re-sort interval in cycles.
+func WithThreshold(cycles int64) Option {
+	return func(p *Policy) {
+		if cycles > 0 {
+			p.threshold = cycles
+		}
+	}
+}
+
+// WithoutBarrierHandling disables the special prioritization of TBs with
+// warps waiting at barriers — the ablation the paper reports for
+// scalarProd (Sec. IV: +11% when disabled).
+func WithoutBarrierHandling() Option {
+	return func(p *Policy) { p.barrierHandling = false }
+}
+
+// WithOrderTrace records Table IV-style priority-order samples on SM 0
+// at every threshold re-sort.
+func WithOrderTrace() Option {
+	return func(p *Policy) { p.trace = true }
+}
+
+// New returns an engine.Factory building PRO policies.
+func New(opts ...Option) engine.Factory {
+	return func(sm *engine.SM) engine.Scheduler {
+		p := &Policy{
+			sm:              sm,
+			threshold:       DefaultThreshold,
+			barrierHandling: true,
+			entries:         make(map[*engine.ThreadBlock]*tbEntry),
+		}
+		for _, o := range opts {
+			o(p)
+		}
+		return p
+	}
+}
+
+// Name implements engine.Scheduler.
+func (p *Policy) Name() string {
+	switch {
+	case p.adaptive != nil:
+		return "PRO-adaptive"
+	case p.normalize:
+		return "PRO-norm"
+	case !p.barrierHandling:
+		return "PRO-nobar"
+	}
+	return "PRO"
+}
+
+// fastPhase queries the Thread Block Scheduler, like Algorithm 1's
+// TBsWaitingInThrdBlkSched().
+func (p *Policy) fastPhase() bool { return p.sm.PendingTBsFn() > 0 }
+
+// Order implements engine.Scheduler — the scheduleWarps procedure of
+// Algorithm 1: handle the phase transition, re-sort the rem group on the
+// threshold, then emit warps from finishWait, barrierWait and rem TBs in
+// that priority order.
+func (p *Policy) Order(slot int, dst []*engine.Warp, cycle int64) []*engine.Warp {
+	if p.adaptive != nil {
+		p.adaptTick(cycle)
+	}
+	if !p.slowPhase && !p.fastPhase() {
+		p.transitionToSlowPhase()
+	}
+	if cycle-p.lastSort > p.threshold {
+		p.lastSort = cycle
+		p.sortRem()
+		if p.trace && p.sm.ID == 0 {
+			p.sample(cycle)
+		}
+	}
+	dst = p.appendGroup(dst, slot, p.finish)
+	dst = p.appendGroup(dst, slot, p.barrier)
+	dst = p.appendGroup(dst, slot, p.rem)
+	return dst
+}
+
+func (p *Policy) appendGroup(dst []*engine.Warp, slot int, group []*tbEntry) []*engine.Warp {
+	for _, e := range group {
+		for _, w := range e.warps {
+			if w.SchedSlot == slot && !w.Finished() {
+				dst = append(dst, w)
+			}
+		}
+	}
+	return dst
+}
+
+// transitionToSlowPhase implements Algorithm 1 lines 36–40: finishWait
+// and noWait TBs merge into finishNoWait (sorted ascending by progress,
+// warps ascending); barrierWait TBs become barrierWait1 (no list change —
+// they already outrank finishNoWait and will transition to finishNoWait
+// when their barrier completes).
+func (p *Policy) transitionToSlowPhase() {
+	p.slowPhase = true
+	p.rem = append(p.rem, p.finish...)
+	p.finish = p.finish[:0]
+	for _, e := range p.rem {
+		e.state = stFinishNoWait
+		sortWarpsAsc(e.warps)
+	}
+	p.sortRem()
+}
+
+// progressKey is the TB priority key for the rem group. Plain PRO uses
+// raw TBProgress; the normalized variant (Sec. III-A's alternative)
+// divides by the mean total instruction count of completed TBs,
+// approximating "fraction of the TB done" when TBs differ in size.
+func (p *Policy) progressKey(tb *engine.ThreadBlock) float64 {
+	if p.normalize && p.completedTBs > 0 {
+		return float64(tb.Progress) * float64(p.completedTBs) / float64(p.completedInstrs)
+	}
+	return float64(tb.Progress)
+}
+
+// sortRem orders the rem group: fast phase by progress descending (tie:
+// global TB index ascending, per Sec. III-C.1) with warps descending;
+// slow phase by progress ascending with warps ascending.
+func (p *Policy) sortRem() {
+	if p.slowPhase {
+		sort.SliceStable(p.rem, func(i, j int) bool {
+			a, b := p.rem[i].tb, p.rem[j].tb
+			ka, kb := p.progressKey(a), p.progressKey(b)
+			if ka != kb {
+				return ka < kb
+			}
+			return a.Global < b.Global
+		})
+		for _, e := range p.rem {
+			sortWarpsAsc(e.warps)
+		}
+		return
+	}
+	sort.SliceStable(p.rem, func(i, j int) bool {
+		a, b := p.rem[i].tb, p.rem[j].tb
+		ka, kb := p.progressKey(a), p.progressKey(b)
+		if ka != kb {
+			return ka > kb
+		}
+		return a.Global < b.Global
+	})
+	for _, e := range p.rem {
+		sortWarpsDesc(e.warps)
+	}
+}
+
+// sortFinish orders finishWait TBs by warps-finished descending, tie by
+// progress descending (Sec. III-C.2), then global index.
+func (p *Policy) sortFinish() {
+	sort.SliceStable(p.finish, func(i, j int) bool {
+		a, b := p.finish[i].tb, p.finish[j].tb
+		if a.WarpsFinished != b.WarpsFinished {
+			return a.WarpsFinished > b.WarpsFinished
+		}
+		if a.Progress != b.Progress {
+			return a.Progress > b.Progress
+		}
+		return a.Global < b.Global
+	})
+}
+
+// sortBarrier orders barrierWait TBs by warps-at-barrier descending, tie
+// by progress descending (Sec. III-C.3), then global index.
+func (p *Policy) sortBarrier() {
+	sort.SliceStable(p.barrier, func(i, j int) bool {
+		a, b := p.barrier[i].tb, p.barrier[j].tb
+		if a.WarpsAtBarrier != b.WarpsAtBarrier {
+			return a.WarpsAtBarrier > b.WarpsAtBarrier
+		}
+		if a.Progress != b.Progress {
+			return a.Progress > b.Progress
+		}
+		return a.Global < b.Global
+	})
+}
+
+func sortWarpsAsc(ws []*engine.Warp) {
+	sort.SliceStable(ws, func(i, j int) bool {
+		if ws[i].Progress != ws[j].Progress {
+			return ws[i].Progress < ws[j].Progress
+		}
+		return ws[i].IDInTB < ws[j].IDInTB
+	})
+}
+
+func sortWarpsDesc(ws []*engine.Warp) {
+	sort.SliceStable(ws, func(i, j int) bool {
+		if ws[i].Progress != ws[j].Progress {
+			return ws[i].Progress > ws[j].Progress
+		}
+		return ws[i].IDInTB < ws[j].IDInTB
+	})
+}
+
+// remove deletes e from list, preserving order.
+func remove(list []*tbEntry, e *tbEntry) []*tbEntry {
+	for i, x := range list {
+		if x == e {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// OnTBAssign implements engine.Scheduler: a fresh TB starts in noWait
+// (new TBs only arrive during fastTBPhase; if one ever arrived later it
+// would join finishNoWait). It enters at the tail of the rem group — with
+// zero progress it belongs at the bottom of the fast-phase order anyway —
+// and the next threshold sort places it exactly.
+func (p *Policy) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
+	e := &tbEntry{tb: tb, warps: append([]*engine.Warp(nil), tb.Warps...)}
+	if p.slowPhase {
+		e.state = stFinishNoWait
+	}
+	p.entries[tb] = e
+	p.rem = append(p.rem, e)
+}
+
+// OnTBRetire implements engine.Scheduler.
+func (p *Policy) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
+	e := p.entries[tb]
+	if e == nil {
+		return
+	}
+	p.completedTBs++
+	p.completedInstrs += tb.Progress
+	delete(p.entries, tb)
+	switch e.state {
+	case stFinishWait:
+		p.finish = remove(p.finish, e)
+	case stBarrierWait:
+		p.barrier = remove(p.barrier, e)
+	default:
+		p.rem = remove(p.rem, e)
+	}
+}
+
+// OnWarpFinish implements Algorithm 1's insertFinishWarp: on the first
+// finished warp, move the TB to finishWait (fast phase only) and sort its
+// warps by increasing progress so the stragglers get the compute time;
+// then re-sort the finishWait group.
+func (p *Policy) OnWarpFinish(w *engine.Warp, _ int64) {
+	e := p.entries[w.TB]
+	if e == nil {
+		return
+	}
+	if w.TB.WarpsFinished == 1 {
+		if p.fastPhase() && e.state == stNoWait {
+			p.rem = remove(p.rem, e)
+			e.state = stFinishWait
+			p.finish = append(p.finish, e)
+		}
+		sortWarpsAsc(e.warps)
+	}
+	p.sortFinish()
+}
+
+// OnBarrierArrive implements Algorithm 1's insertBarrierWarp: on the
+// first warp at the barrier, move the TB to barrierWait and sort its
+// warps by increasing progress; then re-sort the barrierWait group. With
+// barrier handling ablated, arrivals change nothing.
+func (p *Policy) OnBarrierArrive(w *engine.Warp, _ int64) {
+	if !p.barrierHandling {
+		return
+	}
+	e := p.entries[w.TB]
+	if e == nil {
+		return
+	}
+	if w.TB.WarpsAtBarrier == 1 {
+		if e.state == stNoWait || e.state == stFinishNoWait {
+			p.rem = remove(p.rem, e)
+			e.state = stBarrierWait
+			p.barrier = append(p.barrier, e)
+		}
+		sortWarpsAsc(e.warps)
+	}
+	p.sortBarrier()
+}
+
+// OnBarrierRelease completes insertBarrierWarp's all-arrived case: back
+// to noWait during fastTBPhase, to finishNoWait afterwards.
+func (p *Policy) OnBarrierRelease(tb *engine.ThreadBlock, _ int64) {
+	if !p.barrierHandling {
+		return
+	}
+	e := p.entries[tb]
+	if e == nil || e.state != stBarrierWait {
+		return
+	}
+	p.barrier = remove(p.barrier, e)
+	if p.fastPhase() {
+		e.state = stNoWait
+	} else {
+		e.state = stFinishNoWait
+	}
+	p.rem = append(p.rem, e)
+}
+
+// sample records the current SM-0 TB priority order (highest first).
+func (p *Policy) sample(cycle int64) {
+	order := make([]int, 0, len(p.entries))
+	for _, e := range p.finish {
+		order = append(order, e.tb.Global)
+	}
+	for _, e := range p.barrier {
+		order = append(order, e.tb.Global)
+	}
+	for _, e := range p.rem {
+		order = append(order, e.tb.Global)
+	}
+	p.samples = append(p.samples, stats.OrderSample{Cycle: cycle, Order: order})
+}
+
+// OrderSamples implements gpu.OrderTracer.
+func (p *Policy) OrderSamples() []stats.OrderSample { return p.samples }
+
+// HardwareCostBytes returns PRO's extra per-SM storage per Sec. III-E:
+// one 4-byte progress register per warp and per TB, a 1-byte
+// warps-at-barrier/finished counter per TB and a 1-byte sorted-order
+// entry per TB: (4W + 4T) + T + T bytes. For the paper's Fermi
+// configuration (W=48, T=8) this is 240 bytes.
+func HardwareCostBytes(cfg *config.Config) int {
+	w := cfg.MaxWarpsPerSM()
+	t := cfg.MaxTBsPerSM
+	return 4*w + 4*t + t + t
+}

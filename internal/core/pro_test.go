@@ -1,0 +1,362 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/timing"
+)
+
+// harness builds one SM driven manually, with a controllable pending-TB
+// count so fast/slow phase transitions can be forced.
+type harness struct {
+	sm      *engine.SM
+	wheel   *timing.Wheel
+	policy  *Policy
+	pending int
+}
+
+func newHarness(t *testing.T, prog *isa.Program, blockThreads int, opts ...Option) *harness {
+	t.Helper()
+	cfg := config.GTX480()
+	wheel := timing.NewWheel()
+	mem := memsys.New(cfg, wheel)
+	launch := &engine.Launch{Program: prog, GridTBs: 64, BlockThreads: blockThreads, Seed: 5}
+	if err := launch.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{wheel: wheel, pending: 64}
+	h.sm = engine.NewSM(0, cfg, wheel, mem, launch, New(opts...))
+	h.sm.PendingTBsFn = func() int { return h.pending }
+	h.policy = h.sm.Sched.(*Policy)
+	return h
+}
+
+func barrierProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("barprog")
+	b.IAdd(1, 1, 1)
+	b.Bar()
+	b.IAdd(2, 2, 2)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func straightProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("straight")
+	b.IAdd(1, 1, 1)
+	b.IAdd(2, 2, 2)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// order returns the TB ids in the policy's current priority order for
+// slot 0 (deduplicated, highest priority first).
+func (h *harness) order(cycle int64) []int {
+	warps := h.policy.Order(0, nil, cycle)
+	var tbs []int
+	seen := map[int]bool{}
+	for _, w := range warps {
+		if !seen[w.TB.Global] {
+			seen[w.TB.Global] = true
+			tbs = append(tbs, w.TB.Global)
+		}
+	}
+	return tbs
+}
+
+func TestHardwareCostMatchesPaper(t *testing.T) {
+	// Sec. III-E: for W=48, T=8 the extra storage is 240 bytes per SM.
+	if got := HardwareCostBytes(config.GTX480()); got != 240 {
+		t.Fatalf("HardwareCostBytes = %d, want 240", got)
+	}
+}
+
+func TestNoWaitPriorityIsProgressDescendingInFastPhase(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64)
+	tb0 := h.sm.AssignTB(0, 1)
+	tb1 := h.sm.AssignTB(1, 1)
+	tb2 := h.sm.AssignTB(2, 1)
+	tb0.Progress = 100
+	tb1.Progress = 300
+	tb2.Progress = 200
+	got := h.order(DefaultThreshold + 2) // past threshold → sorted
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fast-phase noWait order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNoWaitTieBreaksOnGlobalIndex(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64)
+	h.sm.AssignTB(5, 1)
+	h.sm.AssignTB(3, 1)
+	got := h.order(DefaultThreshold + 2)
+	if got[0] != 3 || got[1] != 5 {
+		t.Fatalf("equal-progress order = %v, want [3 5]", got)
+	}
+}
+
+func TestSlowPhaseFlipsToProgressAscending(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64)
+	tb0 := h.sm.AssignTB(0, 1)
+	tb1 := h.sm.AssignTB(1, 1)
+	tb0.Progress = 100
+	tb1.Progress = 300
+	h.pending = 0 // slowTBPhase begins
+	got := h.order(DefaultThreshold + 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("slow-phase order = %v, want [0 1] (least progress first)", got)
+	}
+}
+
+func TestBarrierWaitOutranksNoWait(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 64)
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbA.Progress = 1000 // would lead noWait order
+	tbB.Progress = 10
+	// One warp of tbB reaches the barrier.
+	tbB.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tbB.Warps[0], 2)
+	got := h.order(3)
+	if got[0] != 1 {
+		t.Fatalf("order = %v; barrierWait TB must outrank noWait", got)
+	}
+}
+
+func TestFinishWaitOutranksBarrierWaitAndNoWait(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 64)
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbC := h.sm.AssignTB(2, 1)
+	tbA.Progress = 1000
+	tbB.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tbB.Warps[0], 2)
+	tbC.WarpsFinished = 1
+	h.policy.OnWarpFinish(tbC.Warps[0], 2)
+	got := h.order(3)
+	if got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("order = %v, want [2 1 0] (finishWait > barrierWait > noWait)", got)
+	}
+}
+
+func TestFinishWaitTBsSortByWarpsFinished(t *testing.T) {
+	h := newHarness(t, straightProg(t), 128) // 4 warps per TB
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbA.WarpsFinished = 1
+	h.policy.OnWarpFinish(tbA.Warps[0], 2)
+	tbB.WarpsFinished = 1
+	h.policy.OnWarpFinish(tbB.Warps[0], 2)
+	// tbB gets a second finished warp → must outrank tbA.
+	tbB.WarpsFinished = 2
+	h.policy.OnWarpFinish(tbB.Warps[1], 3)
+	got := h.order(4)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("finishWait order = %v, want [1 0]", got)
+	}
+}
+
+func TestBarrierWaitTBsSortByWarpsAtBarrier(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 128)
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbA.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tbA.Warps[0], 2)
+	tbB.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tbB.Warps[0], 2)
+	tbB.WarpsAtBarrier = 2
+	h.policy.OnBarrierArrive(tbB.Warps[1], 3)
+	got := h.order(4)
+	if got[0] != 1 {
+		t.Fatalf("barrierWait order = %v, want TB 1 first (more warps at barrier)", got)
+	}
+}
+
+func TestBarrierReleaseReturnsToNoWaitInFastPhase(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 64)
+	tb := h.sm.AssignTB(0, 1)
+	tb.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tb.Warps[0], 2)
+	tb.WarpsAtBarrier = 0
+	h.policy.OnBarrierRelease(tb, 3)
+	e := h.policy.entries[tb]
+	if e.state != stNoWait {
+		t.Fatalf("state after release = %v, want noWait", e.state)
+	}
+}
+
+func TestBarrierReleaseGoesToFinishNoWaitInSlowPhase(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 64)
+	tb := h.sm.AssignTB(0, 1)
+	tb.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tb.Warps[0], 2)
+	h.pending = 0
+	h.order(3) // triggers the phase transition (barrierWait1)
+	tb.WarpsAtBarrier = 0
+	h.policy.OnBarrierRelease(tb, 4)
+	if e := h.policy.entries[tb]; e.state != stFinishNoWait {
+		t.Fatalf("state after slow-phase release = %v, want finishNoWait", e.state)
+	}
+}
+
+func TestPhaseTransitionMergesFinishIntoRem(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64)
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbA.WarpsFinished = 1
+	h.policy.OnWarpFinish(tbA.Warps[0], 2)
+	tbA.Progress = 500
+	tbB.Progress = 10
+	h.pending = 0
+	got := h.order(3)
+	if len(h.policy.finish) != 0 {
+		t.Fatal("finishWait list not cleared at phase transition")
+	}
+	// Merged into finishNoWait, ascending progress: tbB (10) first.
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("post-merge order = %v, want [1 0]", got)
+	}
+}
+
+func TestWarpOrderWithinNoWaitTBIsProgressDescending(t *testing.T) {
+	h := newHarness(t, straightProg(t), 128) // 4 warps
+	tb := h.sm.AssignTB(0, 1)
+	tb.Warps[0].Progress = 10
+	tb.Warps[1].Progress = 40
+	tb.Warps[2].Progress = 20
+	tb.Warps[3].Progress = 30
+	warps := h.policy.Order(0, nil, DefaultThreshold+2) // slot 0 owns warps 0 and 2
+	if len(warps) != 2 {
+		t.Fatalf("slot 0 got %d warps, want 2", len(warps))
+	}
+	if warps[0] != tb.Warps[2] || warps[1] != tb.Warps[0] {
+		t.Fatalf("noWait warp order wrong: got progress %d then %d, want 20 then 10",
+			warps[0].Progress, warps[1].Progress)
+	}
+}
+
+func TestWarpOrderWithinFinishWaitTBIsProgressAscending(t *testing.T) {
+	h := newHarness(t, straightProg(t), 128)
+	tb := h.sm.AssignTB(0, 1)
+	tb.Warps[0].Progress = 40
+	tb.Warps[2].Progress = 10
+	tb.WarpsFinished = 1
+	h.policy.OnWarpFinish(tb.Warps[1], 2)
+	warps := h.policy.Order(0, nil, 3)
+	if warps[0] != tb.Warps[2] || warps[1] != tb.Warps[0] {
+		t.Fatalf("finishWait warp order: got progress %d then %d, want 10 then 40",
+			warps[0].Progress, warps[1].Progress)
+	}
+}
+
+func TestAblationWithoutBarrierHandling(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 64, WithoutBarrierHandling())
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbA.Progress = 1000
+	tbB.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tbB.Warps[0], 2)
+	if len(h.policy.barrier) != 0 {
+		t.Fatal("ablated policy still tracks barrierWait TBs")
+	}
+	got := h.order(DefaultThreshold + 2)
+	if got[0] != 0 {
+		t.Fatalf("order = %v; without barrier handling progress alone must rule", got)
+	}
+	if h.policy.Name() != "PRO-nobar" {
+		t.Fatalf("Name = %q", h.policy.Name())
+	}
+}
+
+func TestThresholdControlsResortCadence(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64, WithThreshold(100))
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	h.order(101) // initial sort
+	tbA.Progress = 10
+	tbB.Progress = 999
+	// Within the threshold window the stale order (assignment order)
+	// persists.
+	got := h.order(150)
+	if got[0] != 0 {
+		t.Fatalf("order re-sorted before threshold: %v", got)
+	}
+	got = h.order(250)
+	if got[0] != 1 {
+		t.Fatalf("order not re-sorted after threshold: %v", got)
+	}
+}
+
+func TestOrderTraceSamples(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64, WithOrderTrace(), WithThreshold(50))
+	h.sm.AssignTB(0, 1)
+	h.sm.AssignTB(1, 1)
+	h.order(60)
+	h.order(120)
+	samples := h.policy.OrderSamples()
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	if len(samples[0].Order) != 2 {
+		t.Fatalf("sample covers %d TBs, want 2", len(samples[0].Order))
+	}
+}
+
+func TestTBRetireRemovesFromLists(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64)
+	tb := h.sm.AssignTB(0, 1)
+	h.policy.OnTBRetire(tb, 5)
+	if len(h.policy.entries) != 0 || len(h.policy.rem) != 0 {
+		t.Fatal("retired TB still tracked")
+	}
+	// Idempotent on unknown TBs.
+	h.policy.OnTBRetire(tb, 6)
+}
+
+func TestOrderCoversEveryLiveWarpOnce(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 128)
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	tbB.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tbB.Warps[0], 2)
+	for slot := 0; slot < 2; slot++ {
+		warps := h.policy.Order(slot, nil, 3)
+		seen := map[*engine.Warp]bool{}
+		for _, w := range warps {
+			if w.SchedSlot != slot {
+				t.Fatalf("slot %d order contains foreign warp", slot)
+			}
+			if seen[w] {
+				t.Fatalf("slot %d order repeats a warp", slot)
+			}
+			seen[w] = true
+		}
+		want := 0
+		for _, tb := range []*engine.ThreadBlock{tbA, tbB} {
+			for _, w := range tb.Warps {
+				if w.SchedSlot == slot {
+					want++
+				}
+			}
+		}
+		if len(warps) != want {
+			t.Fatalf("slot %d order has %d warps, want %d", slot, len(warps), want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+func TestNormalizedProgressKey(t *testing.T) {
+	h := newHarness(t, straightProg(t), 64, WithNormalizedProgress())
+	tbA := h.sm.AssignTB(0, 1)
+	tbB := h.sm.AssignTB(1, 1)
+	// Before any TB completes, normalization falls back to raw progress.
+	tbA.Progress = 100
+	tbB.Progress = 300
+	got := h.order(DefaultThreshold + 2)
+	if got[0] != 1 {
+		t.Fatalf("pre-completion order = %v, want raw-progress order", got)
+	}
+	// A completed TB of 200 instructions calibrates the scale; keys
+	// become fractions but ordering by progress is preserved (same
+	// denominator for all TBs).
+	done := &engine.ThreadBlock{Global: 9, Launch: tbA.Launch, Progress: 200}
+	h.policy.entries[done] = &tbEntry{tb: done}
+	h.policy.rem = append(h.policy.rem, h.policy.entries[done])
+	h.policy.OnTBRetire(done, 2)
+	if h.policy.completedTBs != 1 || h.policy.completedInstrs != 200 {
+		t.Fatalf("completion accounting: %d TBs, %d instrs",
+			h.policy.completedTBs, h.policy.completedInstrs)
+	}
+	if k := h.policy.progressKey(tbA); k != 0.5 {
+		t.Fatalf("normalized key = %v, want 0.5 (100/200)", k)
+	}
+	if h.policy.Name() != "PRO-norm" {
+		t.Fatalf("Name = %q", h.policy.Name())
+	}
+}
+
+func TestAdaptiveTogglesAndMigratesLists(t *testing.T) {
+	h := newHarness(t, barrierProg(t), 64,
+		WithThreshold(100), WithAdaptiveBarrierHandling(200, 400))
+	tb := h.sm.AssignTB(0, 1)
+	if h.policy.Name() != "PRO-adaptive" {
+		t.Fatalf("Name = %q", h.policy.Name())
+	}
+
+	// Cycle 1: first tick arms the controller measuring ON.
+	h.policy.Order(0, nil, 1)
+	if !h.policy.barrierHandling {
+		t.Fatal("controller must start with handling on")
+	}
+	// A warp reaches the barrier: TB moves to the barrier list.
+	tb.WarpsAtBarrier = 1
+	h.policy.OnBarrierArrive(tb.Warps[0], 2)
+	if len(h.policy.barrier) != 1 {
+		t.Fatal("barrier list not populated while handling on")
+	}
+
+	// Past the first epoch boundary the controller measures OFF: the
+	// barrier list must flush back into rem.
+	h.policy.Order(0, nil, 202)
+	if h.policy.barrierHandling {
+		t.Fatal("controller did not switch to OFF epoch")
+	}
+	if len(h.policy.barrier) != 0 || len(h.policy.rem) != 1 {
+		t.Fatal("barrier list not migrated on toggle")
+	}
+
+	// Past the second boundary it commits; with zero issue in both
+	// epochs the tie goes to handling ON, and the still-waiting barrier
+	// TB must be rediscovered by the rescan.
+	h.policy.Order(0, nil, 403)
+	if !h.policy.barrierHandling {
+		t.Fatal("tie must commit to handling on")
+	}
+	if len(h.policy.barrier) != 1 {
+		t.Fatal("rescan did not restore the barrierWait TB")
+	}
+}
+
+// TestVariantsEndToEnd runs every PRO variant on a barrier-heavy kernel
+// and checks work conservation against plain PRO.
+func TestVariantsEndToEnd(t *testing.T) {
+	b := isa.NewBuilder("variant-kernel")
+	b.Loop(isa.LoopSpec{Min: 4, Max: 12, Imb: isa.ImbPerWarp})
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+	b.FFMA(2, 1, 1, 2)
+	b.EndLoop()
+	b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	b.LdShared(3, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8})
+	b.FAdd(2, 2, 3)
+	b.StGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.GTX480()
+	cfg.NumSMs = 2
+	cfg.L2Partitions = 2
+	cfg.L2Size = 256 * 1024
+	launch := &engine.Launch{Program: prog, GridTBs: 20, BlockThreads: 128, Seed: 11}
+
+	ref, err := gpu.Run(cfg, launch, New(), gpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]engine.Factory{
+		"PRO-nobar":    New(WithoutBarrierHandling()),
+		"PRO-adaptive": New(WithAdaptiveBarrierHandling(0, 0)),
+		"PRO-norm":     New(WithNormalizedProgress()),
+		"LRR-check":    sched.NewLRR,
+	}
+	for name, f := range variants {
+		r, err := gpu.Run(cfg, launch, f, gpu.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.ThreadInstrs != ref.ThreadInstrs {
+			t.Errorf("%s executed %d thread-instrs, PRO executed %d",
+				name, r.ThreadInstrs, ref.ThreadInstrs)
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("%s: no cycles", name)
+		}
+	}
+}
+
+func TestAdaptiveDeterminism(t *testing.T) {
+	b := isa.NewBuilder("adeterm")
+	b.IAdd(1, 1, 1)
+	b.Bar()
+	b.IAdd(2, 2, 2)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.GTX480()
+	cfg.NumSMs = 2
+	cfg.L2Partitions = 2
+	cfg.L2Size = 256 * 1024
+	launch := &engine.Launch{Program: prog, GridTBs: 30, BlockThreads: 96, Seed: 4}
+	a, err := gpu.Run(cfg, launch, New(WithAdaptiveBarrierHandling(100, 300)), gpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := gpu.Run(cfg, launch, New(WithAdaptiveBarrierHandling(100, 300)), gpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b2.Cycles {
+		t.Fatalf("adaptive runs diverged: %d vs %d", a.Cycles, b2.Cycles)
+	}
+}

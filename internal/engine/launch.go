@@ -1,0 +1,100 @@
+// Package engine implements the SM core model: warps with SIMT
+// reconvergence stacks and scoreboards, thread blocks with barrier and
+// finish tracking, execution pipelines, and the per-cycle issue logic
+// with GPGPU-Sim's stall taxonomy (Idle / Scoreboard / Pipeline). Warp
+// scheduling policies plug in through the Scheduler interface; the engine
+// guarantees that a policy can change only *when* instructions issue,
+// never *what* executes.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// Launch describes one kernel launch: the program, its grid/block shape
+// and its per-TB resource footprint — the inputs the Thread Block
+// Scheduler uses for residency decisions.
+type Launch struct {
+	// Program is the kernel body (validated).
+	Program *isa.Program
+	// GridTBs is the number of thread blocks in the grid.
+	GridTBs int
+	// BlockThreads is threads per thread block (need not be a multiple of
+	// the warp size; the last warp runs partially populated).
+	BlockThreads int
+	// RegsPerThread is the register footprint used for residency.
+	RegsPerThread int
+	// SharedMemPerTB is the shared-memory footprint in bytes.
+	SharedMemPerTB int
+	// Seed makes all data-dependent behaviour (addresses, branch
+	// outcomes, trip counts) reproducible.
+	Seed uint64
+}
+
+// WarpsPerTB returns the number of warps per thread block.
+func (l *Launch) WarpsPerTB() int {
+	return (l.BlockThreads + config.WarpSize - 1) / config.WarpSize
+}
+
+// Validate checks that the launch is well-formed and that a single TB
+// fits on one SM of cfg.
+func (l *Launch) Validate(cfg *config.Config) error {
+	if l.Program == nil {
+		return fmt.Errorf("engine: launch has no program")
+	}
+	if err := l.Program.Validate(); err != nil {
+		return err
+	}
+	if l.GridTBs <= 0 {
+		return fmt.Errorf("engine: %s: grid must have at least one TB", l.Program.Name)
+	}
+	if l.BlockThreads <= 0 {
+		return fmt.Errorf("engine: %s: block must have at least one thread", l.Program.Name)
+	}
+	if l.BlockThreads > cfg.MaxThreadsPerSM {
+		return fmt.Errorf("engine: %s: block of %d threads exceeds SM capacity %d",
+			l.Program.Name, l.BlockThreads, cfg.MaxThreadsPerSM)
+	}
+	if l.WarpsPerTB() > cfg.MaxWarpsPerSM() {
+		return fmt.Errorf("engine: %s: %d warps per TB exceeds SM warp slots %d",
+			l.Program.Name, l.WarpsPerTB(), cfg.MaxWarpsPerSM())
+	}
+	if l.RegsPerThread < 0 || l.RegsPerThread > int(isa.MaxReg) {
+		return fmt.Errorf("engine: %s: regs per thread %d out of range", l.Program.Name, l.RegsPerThread)
+	}
+	if l.RegsPerThread*l.BlockThreads > cfg.RegistersPerSM {
+		return fmt.Errorf("engine: %s: one TB needs %d registers, SM has %d",
+			l.Program.Name, l.RegsPerThread*l.BlockThreads, cfg.RegistersPerSM)
+	}
+	if l.SharedMemPerTB < 0 || l.SharedMemPerTB > cfg.SharedMemPerSM {
+		return fmt.Errorf("engine: %s: TB shared memory %d exceeds SM capacity %d",
+			l.Program.Name, l.SharedMemPerTB, cfg.SharedMemPerSM)
+	}
+	return nil
+}
+
+// ResidentTBs returns how many TBs of this launch fit concurrently on one
+// SM — the occupancy calculation the paper's Sec. II-C reasons about.
+func (l *Launch) ResidentTBs(cfg *config.Config) int {
+	n := cfg.MaxTBsPerSM
+	if byWarps := cfg.MaxWarpsPerSM() / l.WarpsPerTB(); byWarps < n {
+		n = byWarps
+	}
+	if byThreads := cfg.MaxThreadsPerSM / l.BlockThreads; byThreads < n {
+		n = byThreads
+	}
+	if l.RegsPerThread > 0 {
+		if byRegs := cfg.RegistersPerSM / (l.RegsPerThread * l.BlockThreads); byRegs < n {
+			n = byRegs
+		}
+	}
+	if l.SharedMemPerTB > 0 {
+		if bySmem := cfg.SharedMemPerSM / l.SharedMemPerTB; bySmem < n {
+			n = bySmem
+		}
+	}
+	return n
+}

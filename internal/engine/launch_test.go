@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func trivialProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("t")
+	b.IAdd(1, 1, 1)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLaunchWarpsPerTB(t *testing.T) {
+	p := trivialProgram(t)
+	cases := []struct{ threads, warps int }{
+		{1, 1}, {32, 1}, {33, 2}, {256, 8}, {257, 9}, {1536, 48},
+	}
+	for _, c := range cases {
+		l := &Launch{Program: p, GridTBs: 1, BlockThreads: c.threads}
+		if got := l.WarpsPerTB(); got != c.warps {
+			t.Errorf("WarpsPerTB(%d threads) = %d, want %d", c.threads, got, c.warps)
+		}
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	cfg := config.GTX480()
+	p := trivialProgram(t)
+	bad := []struct {
+		name string
+		l    Launch
+		frag string
+	}{
+		{"no program", Launch{GridTBs: 1, BlockThreads: 32}, "no program"},
+		{"zero grid", Launch{Program: p, GridTBs: 0, BlockThreads: 32}, "grid"},
+		{"zero block", Launch{Program: p, GridTBs: 1, BlockThreads: 0}, "thread"},
+		{"block too big", Launch{Program: p, GridTBs: 1, BlockThreads: 2048}, "exceeds SM capacity"},
+		{"regs too big", Launch{Program: p, GridTBs: 1, BlockThreads: 1536, RegsPerThread: 63}, "registers"},
+		{"smem too big", Launch{Program: p, GridTBs: 1, BlockThreads: 32, SharedMemPerTB: 1 << 20}, "shared memory"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.l.Validate(cfg)
+			if err == nil {
+				t.Fatal("Validate accepted bad launch")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q lacks %q", err, c.frag)
+			}
+		})
+	}
+	good := Launch{Program: p, GridTBs: 10, BlockThreads: 256, RegsPerThread: 20, SharedMemPerTB: 4096}
+	if err := good.Validate(cfg); err != nil {
+		t.Fatalf("Validate rejected good launch: %v", err)
+	}
+}
+
+func TestResidentTBsOccupancyLimits(t *testing.T) {
+	cfg := config.GTX480()
+	p := trivialProgram(t)
+	cases := []struct {
+		name string
+		l    Launch
+		want int
+	}{
+		// Paper Sec. I: 256-thread TBs → 1536/256 = 6 per SM.
+		{"thread limited", Launch{Program: p, BlockThreads: 256, GridTBs: 1}, 6},
+		// TB-slot limited: tiny TBs cap at 8.
+		{"slot limited", Launch{Program: p, BlockThreads: 32, GridTBs: 1}, 8},
+		// Register limited: 40 regs × 128 threads = 5120 → 32768/5120 = 6.
+		{"register limited", Launch{Program: p, BlockThreads: 128, RegsPerThread: 40, GridTBs: 1}, 6},
+		// Shared-memory limited: 48KB / 12KB = 4.
+		{"smem limited", Launch{Program: p, BlockThreads: 128, SharedMemPerTB: 12 * 1024, GridTBs: 1}, 4},
+		// Whole-SM TB.
+		{"giant", Launch{Program: p, BlockThreads: 1536, GridTBs: 1}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.l.ResidentTBs(cfg); got != c.want {
+				t.Errorf("ResidentTBs = %d, want %d", got, c.want)
+			}
+		})
+	}
+}

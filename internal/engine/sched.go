@@ -1,0 +1,73 @@
+package engine
+
+import "repro/internal/isa"
+
+// Scheduler is a warp-scheduling policy for one SM. One Scheduler
+// instance serves all of the SM's hardware scheduler slots (Fermi has
+// two), which lets policies with SM-wide state — PRO's thread-block
+// priorities — present a coherent view to both slots.
+//
+// The engine invokes Order once per slot per cycle and walks the returned
+// warps in order, issuing the first one that is valid, scoreboard-ready
+// and has a free pipeline. A warp is owned by slot w.SchedSlot. Warps
+// omitted from Order cannot issue that cycle; a policy that filters (TL
+// only exposes its active set) must guarantee every live warp is
+// eventually exposed, or the SM deadlocks. The engine performs all
+// readiness checks itself, so Order is free to return blocked warps in
+// any position.
+//
+// Event hooks fire exactly once per event, after the engine has updated
+// the warp/TB state the hook describes. Policies that ignore an event
+// simply provide an empty method (see BasePolicy).
+type Scheduler interface {
+	// Name identifies the policy in results.
+	Name() string
+
+	// Order appends slot's warps to dst in decreasing priority and
+	// returns the extended slice. dst is a reusable scratch buffer owned
+	// by the engine.
+	Order(slot int, dst []*Warp, cycle int64) []*Warp
+
+	// OnTBAssign fires when a TB becomes resident.
+	OnTBAssign(tb *ThreadBlock, cycle int64)
+	// OnTBRetire fires when a TB's last warp finished and its resources
+	// were released.
+	OnTBRetire(tb *ThreadBlock, cycle int64)
+	// OnIssue fires after a warp issues in (active lanes active).
+	OnIssue(w *Warp, in *isa.Instr, lanes int, cycle int64)
+	// OnBarrierArrive fires when a warp blocks at a barrier (the TB's
+	// WarpsAtBarrier already includes it).
+	OnBarrierArrive(w *Warp, cycle int64)
+	// OnBarrierRelease fires when the TB's last warp arrived and all its
+	// warps were unblocked (WarpsAtBarrier already reset to 0).
+	OnBarrierRelease(tb *ThreadBlock, cycle int64)
+	// OnWarpFinish fires when a warp exits (the TB's WarpsFinished
+	// already includes it). It does not fire again at TB retirement.
+	OnWarpFinish(w *Warp, cycle int64)
+}
+
+// Factory builds a Scheduler bound to an SM. It runs during SM
+// construction, before any TB is assigned.
+type Factory func(sm *SM) Scheduler
+
+// BasePolicy provides no-op hook implementations so policies only
+// override what they observe.
+type BasePolicy struct{}
+
+// OnTBAssign implements Scheduler.
+func (BasePolicy) OnTBAssign(*ThreadBlock, int64) {}
+
+// OnTBRetire implements Scheduler.
+func (BasePolicy) OnTBRetire(*ThreadBlock, int64) {}
+
+// OnIssue implements Scheduler.
+func (BasePolicy) OnIssue(*Warp, *isa.Instr, int, int64) {}
+
+// OnBarrierArrive implements Scheduler.
+func (BasePolicy) OnBarrierArrive(*Warp, int64) {}
+
+// OnBarrierRelease implements Scheduler.
+func (BasePolicy) OnBarrierRelease(*ThreadBlock, int64) {}
+
+// OnWarpFinish implements Scheduler.
+func (BasePolicy) OnWarpFinish(*Warp, int64) {}

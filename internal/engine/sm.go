@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// SM is one streaming multiprocessor executing thread blocks of a single
+// kernel launch. It owns the issue logic, the execution-pipeline
+// occupancy model and the stall classification; the plugged-in Scheduler
+// only decides priority order.
+type SM struct {
+	ID    int
+	Cfg   *config.Config
+	Wheel *timing.Wheel
+	Mem   *memsys.System
+	// Launch is the kernel this SM executes.
+	Launch *Launch
+	// Sched is the warp-scheduling policy.
+	Sched Scheduler
+
+	// WarpSlots holds resident warps; a TB's warps occupy the contiguous
+	// range [slot*WarpsPerTB, (slot+1)*WarpsPerTB).
+	WarpSlots []*Warp
+	// TBSlots holds resident TBs, nil when free. Its length is the
+	// launch's per-SM residency limit.
+	TBSlots []*ThreadBlock
+
+	residentTBs int
+	launchSeq   int
+
+	// PendingTBsFn answers "are TBs still waiting in the Thread Block
+	// Scheduler?" — PRO's fastTBPhase test. Wired by the GPU; defaults to
+	// zero pending.
+	PendingTBsFn func() int
+	// OnTBRetireFn is notified after a TB's resources are released, so
+	// the GPU can assign a fresh TB. May be nil.
+	OnTBRetireFn func(tb *ThreadBlock, cycle int64)
+
+	// Per-cycle issue tokens (reset each Tick): the SFU and MEM units
+	// accept one instruction per SM-cycle, shared by the scheduler slots;
+	// each slot implicitly owns an SP token by issuing at most once.
+	sfuToken bool
+	memToken bool
+
+	sfuInflight  int
+	memInflight  int
+	memBusyUntil int64
+	// memOp is the warp memory instruction currently occupying the LD/ST
+	// unit's address-generation stage: its coalesced transactions are
+	// issued to the memory system at one line per cycle, so uncoalesced
+	// accesses hold the unit for many cycles.
+	memOp *memOp
+
+	// Stalls is the per-scheduler-slot stall breakdown.
+	Stalls []stats.StallBreakdown
+	// WarpInstrs / ThreadInstrs count issued work.
+	WarpInstrs   int64
+	ThreadInstrs int64
+	// WarpDisparitySum accumulates each retired TB's warp finish spread;
+	// BarrierWaitSum/BarrierEpisodes accumulate barrier first-arrival-to
+	// -release waits — the warp-level-divergence measurables.
+	WarpDisparitySum int64
+	BarrierWaitSum   int64
+	BarrierEpisodes  int64
+
+	// icache is the optional per-SM instruction cache (nil when the
+	// config disables it): refills that miss pay an extra latency.
+	icache *cache.Cache
+
+	orderBuf []*Warp
+	lineBuf  []uint64
+}
+
+// NewSM builds an SM bound to a launch; factory creates its scheduling
+// policy. The launch must already be validated against cfg.
+func NewSM(id int, cfg *config.Config, wheel *timing.Wheel, mem *memsys.System, launch *Launch, factory Factory) *SM {
+	resident := launch.ResidentTBs(cfg)
+	sm := &SM{
+		ID:           id,
+		Cfg:          cfg,
+		Wheel:        wheel,
+		Mem:          mem,
+		Launch:       launch,
+		WarpSlots:    make([]*Warp, resident*launch.WarpsPerTB()),
+		TBSlots:      make([]*ThreadBlock, resident),
+		PendingTBsFn: func() int { return 0 },
+		Stalls:       make([]stats.StallBreakdown, cfg.SchedulersPerSM),
+	}
+	if cfg.ICacheSize > 0 {
+		sm.icache = cache.MustNew(cfg.ICacheSize, cfg.ICacheAssoc, cfg.ICacheLineInstrs*8)
+	}
+	sm.Sched = factory(sm)
+	return sm
+}
+
+// CanAccept reports whether a further TB of the launch fits now.
+func (sm *SM) CanAccept() bool { return sm.residentTBs < len(sm.TBSlots) }
+
+// ResidentTBCount returns the number of TBs currently resident.
+func (sm *SM) ResidentTBCount() int { return sm.residentTBs }
+
+// AssignTB makes TB global resident and returns it. Callers must check
+// CanAccept first.
+func (sm *SM) AssignTB(global int, cycle int64) *ThreadBlock {
+	slot := -1
+	for i, tb := range sm.TBSlots {
+		if tb == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		panic("engine: AssignTB on a full SM")
+	}
+	tb := &ThreadBlock{
+		Global:     global,
+		SMID:       sm.ID,
+		Slot:       slot,
+		Launch:     sm.Launch,
+		StartCycle: cycle,
+		LaunchSeq:  sm.launchSeq,
+	}
+	sm.launchSeq++
+	wpt := sm.Launch.WarpsPerTB()
+	tb.Warps = make([]*Warp, wpt)
+	for i := 0; i < wpt; i++ {
+		w := newWarp(sm, tb, i, slot*wpt+i, cycle)
+		tb.Warps[i] = w
+		sm.WarpSlots[w.Slot] = w
+		sm.scheduleFetch(w)
+	}
+	sm.TBSlots[slot] = tb
+	sm.residentTBs++
+	sm.Sched.OnTBAssign(tb, cycle)
+	return tb
+}
+
+// scheduleFetch starts an i-buffer refill for w. With the instruction
+// cache enabled, a refill that misses at the warp's current PC pays the
+// extra miss latency (and fills the line).
+func (sm *SM) scheduleFetch(w *Warp) {
+	w.fetchBusy = true
+	delay := int64(sm.Cfg.IFetchLatency)
+	if delay < 1 {
+		delay = 1
+	}
+	if sm.icache != nil {
+		pc := w.PC()
+		if pc < 0 {
+			pc = 0
+		}
+		addr := uint64(pc) * 8
+		if !sm.icache.Access(addr) {
+			sm.icache.Fill(addr)
+			delay += int64(sm.Cfg.ICacheMissLatency)
+		}
+	}
+	sm.Wheel.ScheduleAfter(delay, func(int64) {
+		if !w.finished {
+			w.ibuf = sm.Cfg.IBufferEntries
+			w.fetchBusy = false
+		}
+	})
+}
+
+// Done reports whether the SM has no resident TBs.
+func (sm *SM) Done() bool { return sm.residentTBs == 0 }
+
+// memOp is one warp memory instruction in the LD/ST unit.
+type memOp struct {
+	w     *Warp
+	dst   isa.Reg
+	kind  isa.Op
+	lines []uint64 // transactions not yet issued to the memory system
+	// outstanding counts issued-but-incomplete load/atomic transactions;
+	// pushed reports all transactions issued. The op's warp dependency
+	// resolves when pushed && outstanding == 0.
+	outstanding int
+	pushed      bool
+}
+
+// Tick runs one core cycle: the LD/ST unit drains one pending
+// transaction, then each scheduler slot picks an order and the engine
+// issues at most one instruction per slot, classifying the slot's outcome
+// as issued / Idle / Scoreboard / Pipeline.
+func (sm *SM) Tick(cycle int64) {
+	sm.sfuToken = true
+	sm.memToken = true
+	sm.drainMemOp(cycle)
+	for slot := 0; slot < sm.Cfg.SchedulersPerSM; slot++ {
+		sm.tickSlot(slot, cycle)
+	}
+}
+
+// drainMemOp issues at most one transaction of the in-flight memory
+// instruction. The unit frees as soon as all transactions are issued; the
+// data return path is tracked by callbacks.
+func (sm *SM) drainMemOp(cycle int64) {
+	op := sm.memOp
+	if op == nil {
+		return
+	}
+	line := op.lines[0]
+	switch op.kind {
+	case isa.OpStGlobal:
+		if !sm.Mem.StoreLine(sm.ID, line) {
+			return // store buffer full; retry next cycle
+		}
+	case isa.OpLdGlobal, isa.OpAtomGlobal:
+		done := func(cy int64) {
+			op.outstanding--
+			sm.memOpLineDone(op, cy)
+		}
+		var ok bool
+		if op.kind == isa.OpLdGlobal {
+			ok = sm.Mem.LoadLine(sm.ID, line, done)
+		} else {
+			ok = sm.Mem.AtomicLine(sm.ID, line, done)
+		}
+		if !ok {
+			return // MSHRs full; retry next cycle
+		}
+		op.outstanding++
+	}
+	op.lines = op.lines[1:]
+	if len(op.lines) == 0 {
+		op.pushed = true
+		sm.memOp = nil
+		if op.kind == isa.OpStGlobal {
+			// Stores are fire-and-forget: the instruction is complete for
+			// the warp once all lines entered the store path.
+			sm.memInflight--
+		} else {
+			sm.memOpLineDone(op, cycle)
+		}
+	}
+}
+
+// memOpLineDone resolves a load/atomic op when every transaction has
+// been issued and completed.
+func (sm *SM) memOpLineDone(op *memOp, cy int64) {
+	if !op.pushed || op.outstanding != 0 {
+		return
+	}
+	op.pushed = false // guard against double resolution
+	if op.dst != isa.NoReg {
+		op.w.regReady[op.dst] = cy
+	}
+	op.w.outstandingLoads--
+	sm.memInflight--
+}
+
+func (sm *SM) tickSlot(slot int, cycle int64) {
+	if sm.residentTBs == 0 {
+		sm.Stalls[slot].Idle++
+		return
+	}
+	order := sm.Sched.Order(slot, sm.orderBuf[:0], cycle)
+	sm.orderBuf = order[:0]
+
+	anyValid, anyReady := false, false
+	for _, w := range order {
+		if w == nil || w.SchedSlot != slot || w.finished {
+			continue
+		}
+		in := w.NextInstr()
+		if in == nil {
+			continue
+		}
+		anyValid = true
+		if !w.ScoreboardReady(in, cycle) {
+			continue
+		}
+		anyReady = true
+		if sm.tryIssue(w, in, cycle) {
+			sm.Stalls[slot].Issued++
+			return
+		}
+	}
+	switch {
+	case anyReady:
+		sm.Stalls[slot].Pipeline++
+	case anyValid:
+		sm.Stalls[slot].Scoreboard++
+	default:
+		sm.Stalls[slot].Idle++
+	}
+}
+
+// tryIssue attempts to issue in from w at cycle; it returns false — with
+// no state changed — when the required pipeline cannot accept the
+// instruction (unit token taken, queue full, MSHR/store-buffer refusal).
+func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
+	switch in.Op.Unit() {
+	case isa.UnitSFU:
+		if !sm.sfuToken || sm.sfuInflight >= sm.Cfg.SFUQueueDepth {
+			return false
+		}
+	case isa.UnitMem:
+		if !sm.memToken || cycle < sm.memBusyUntil || sm.memOp != nil {
+			return false
+		}
+	}
+
+	pc := w.PC()
+	iter := int64(w.visits[pc])
+	mask := w.ActiveMask()
+	tb := w.TB
+
+	// Global-memory instructions occupy the LD/ST unit's single mem-op
+	// register until all their coalesced transactions have been issued.
+	switch in.Op {
+	case isa.OpLdGlobal, isa.OpAtomGlobal, isa.OpStGlobal:
+		if sm.memOp != nil || sm.memInflight >= sm.Cfg.MemQueueDepth {
+			return false
+		}
+		lines := isa.LineAddrs(sm.lineBuf[:0], in.Mem, sm.Launch.Seed,
+			tb.Global, w.IDInTB, pc, iter, mask, sm.Launch.BlockThreads, sm.Cfg.L1Line)
+		sm.lineBuf = lines[:0]
+		op := &memOp{
+			w:     w,
+			dst:   in.Dst,
+			kind:  in.Op,
+			lines: append([]uint64(nil), lines...),
+		}
+		sm.memOp = op
+		sm.memInflight++
+		if in.Op != isa.OpStGlobal {
+			w.outstandingLoads++
+			if in.Dst != isa.NoReg {
+				w.regReady[in.Dst] = regPendingLoad
+			}
+		}
+		sm.memToken = false
+		// Issue the first transaction this cycle so a fully coalesced
+		// access holds the unit for exactly one cycle.
+		sm.drainMemOp(cycle)
+
+	case isa.OpLdShared, isa.OpStShared:
+		passes := isa.BankPasses(in.Mem, sm.Launch.Seed, tb.Global, w.IDInTB, pc, iter, mask, sm.Cfg.SharedBanks)
+		lat := int64(sm.Cfg.SharedLatency + (passes-1)*sm.Cfg.SharedConflictPenalty)
+		w.setRegLatency(in.Dst, cycle, lat)
+		sm.memToken = false
+		sm.memBusyUntil = cycle + int64(passes)
+
+	case isa.OpLdConst:
+		w.setRegLatency(in.Dst, cycle, int64(sm.Cfg.ConstLatency))
+		sm.memToken = false
+		sm.memBusyUntil = cycle + 1
+
+	case isa.OpSFU:
+		w.setRegLatency(in.Dst, cycle, int64(sm.Cfg.SFULatency))
+		sm.sfuInflight++
+		sm.Wheel.ScheduleAfter(int64(sm.Cfg.SFULatency), func(int64) { sm.sfuInflight-- })
+		sm.sfuToken = false
+
+	default: // SP arithmetic and control
+		w.setRegLatency(in.Dst, cycle, int64(sm.Cfg.ALULatency))
+	}
+
+	// Committed: account progress exactly as the paper's hardware does —
+	// warp and TB progress registers incremented by the active-thread
+	// count on every scheduled cycle.
+	lanes := bits.OnesCount32(mask)
+	w.visits[pc]++
+	w.Progress += int64(lanes)
+	tb.Progress += int64(lanes)
+	w.Issued++
+	sm.WarpInstrs++
+	sm.ThreadInstrs += int64(lanes)
+
+	w.ibuf--
+	if w.ibuf == 0 && !w.finished {
+		sm.scheduleFetch(w)
+	}
+
+	switch in.Op {
+	case isa.OpBra:
+		w.execBranch(in, pc, iter)
+	case isa.OpBar:
+		w.advancePC()
+		w.atBar = true
+		tb.WarpsAtBarrier++
+		if tb.WarpsAtBarrier == 1 {
+			tb.barrierStart = cycle
+		}
+		sm.Sched.OnBarrierArrive(w, cycle)
+		if tb.barrierComplete() {
+			for _, sib := range tb.Warps {
+				sib.atBar = false
+			}
+			tb.WarpsAtBarrier = 0
+			sm.BarrierWaitSum += cycle - tb.barrierStart
+			sm.BarrierEpisodes++
+			tb.barrierStart = 0
+			sm.Sched.OnBarrierRelease(tb, cycle)
+		}
+	case isa.OpExit:
+		w.finished = true
+		w.FinishCycle = cycle
+		w.stack = w.stack[:0]
+		tb.WarpsFinished++
+		sm.Sched.OnWarpFinish(w, cycle)
+		if tb.Done() {
+			sm.retireTB(tb, cycle)
+		}
+	default:
+		w.advancePC()
+	}
+
+	sm.Sched.OnIssue(w, in, lanes, cycle)
+	return true
+}
+
+// retireTB releases a finished TB's resources and notifies the policy and
+// the GPU.
+func (sm *SM) retireTB(tb *ThreadBlock, cycle int64) {
+	tb.EndCycle = cycle
+	sm.WarpDisparitySum += tb.WarpDisparity()
+	wpt := sm.Launch.WarpsPerTB()
+	for i := 0; i < wpt; i++ {
+		sm.WarpSlots[tb.Slot*wpt+i] = nil
+	}
+	sm.TBSlots[tb.Slot] = nil
+	sm.residentTBs--
+	sm.Sched.OnTBRetire(tb, cycle)
+	if sm.OnTBRetireFn != nil {
+		sm.OnTBRetireFn(tb, cycle)
+	}
+}
+
+// StallTotal sums the per-slot breakdowns.
+func (sm *SM) StallTotal() stats.StallBreakdown {
+	var t stats.StallBreakdown
+	for _, s := range sm.Stalls {
+		t.Add(s)
+	}
+	return t
+}

@@ -1,0 +1,465 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// rig is a single-SM test rig driven cycle by cycle.
+type rig struct {
+	cfg   *config.Config
+	wheel *timing.Wheel
+	mem   *memsys.System
+	sm    *SM
+	cycle int64
+}
+
+// passAll is a trivial policy: all live warps in slot order.
+type passAll struct {
+	BasePolicy
+	sm *SM
+}
+
+func (p *passAll) Name() string { return "passall" }
+func (p *passAll) Order(slot int, dst []*Warp, _ int64) []*Warp {
+	for _, w := range p.sm.WarpSlots {
+		if w != nil && w.SchedSlot == slot {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+func newRig(t *testing.T, prog *isa.Program, blockThreads, gridTBs int) *rig {
+	t.Helper()
+	cfg := config.GTX480()
+	wheel := timing.NewWheel()
+	mem := memsys.New(cfg, wheel)
+	launch := &Launch{Program: prog, GridTBs: gridTBs, BlockThreads: blockThreads, Seed: 3}
+	if err := launch.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{cfg: cfg, wheel: wheel, mem: mem}
+	r.sm = NewSM(0, cfg, wheel, mem, launch, func(sm *SM) Scheduler { return &passAll{sm: sm} })
+	return r
+}
+
+// step advances one core cycle.
+func (r *rig) step() {
+	r.cycle++
+	r.wheel.Advance(r.cycle)
+	r.mem.Tick(r.cycle)
+	r.sm.Tick(r.cycle)
+}
+
+// runToCompletion drives the SM until its resident TBs retire.
+func (r *rig) runToCompletion(t *testing.T, budget int64) {
+	t.Helper()
+	for i := int64(0); i < budget; i++ {
+		if r.sm.Done() {
+			return
+		}
+		r.step()
+	}
+	t.Fatalf("SM did not finish within %d cycles", budget)
+}
+
+func build(t *testing.T, f func(b *isa.Builder)) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("sm-test")
+	f(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStraightLineKernelRetires(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IAdd(1, 1, 1)
+		b.IAdd(2, 2, 2)
+		b.Exit()
+	})
+	r := newRig(t, prog, 64, 1)
+	tb := r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 1000)
+	if !tb.Done() || tb.EndCycle == 0 {
+		t.Fatal("TB did not retire cleanly")
+	}
+	// 2 warps × 3 instructions.
+	if r.sm.WarpInstrs != 6 {
+		t.Fatalf("WarpInstrs = %d, want 6", r.sm.WarpInstrs)
+	}
+	if r.sm.ThreadInstrs != 6*32 {
+		t.Fatalf("ThreadInstrs = %d, want %d", r.sm.ThreadInstrs, 6*32)
+	}
+	if r.sm.ResidentTBCount() != 0 || !r.sm.CanAccept() {
+		t.Fatal("resources not released at retire")
+	}
+}
+
+func TestProgressCountsActiveLanesOnly(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IfLaneLess(8)
+		b.IAdd(1, 1, 1) // executed by 8 lanes
+		b.EndIf()
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	tb := r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 1000)
+	// bra (32) + iadd (8) + exit (32) = 72 thread-instructions.
+	if tb.Progress != 72 {
+		t.Fatalf("TB progress = %d, want 72", tb.Progress)
+	}
+	if tb.Warps[0].Progress != 72 {
+		t.Fatalf("warp progress = %d, want 72", tb.Warps[0].Progress)
+	}
+}
+
+func TestDependentALUChainPaysLatency(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IAdd(1, 1, 1)
+		b.IAdd(1, 1, 1) // RAW on r1
+		b.IAdd(1, 1, 1)
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 1000)
+	// Single warp: each dependent IAdd waits ALULatency; runtime must be
+	// at least 2 chained latencies.
+	if r.cycle < int64(2*r.cfg.ALULatency) {
+		t.Fatalf("dependent chain finished in %d cycles; scoreboard not enforced", r.cycle)
+	}
+	st := r.sm.StallTotal()
+	if st.Scoreboard == 0 {
+		t.Fatal("no scoreboard stalls recorded for a RAW chain")
+	}
+}
+
+func TestIndependentALUOpsPipeline(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IAdd(1, 0, 0)
+		b.IAdd(2, 0, 0)
+		b.IAdd(3, 0, 0)
+		b.IAdd(4, 0, 0)
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 1000)
+	// Independent ops issue back-to-back: well under one latency each.
+	if r.cycle > int64(3*r.cfg.ALULatency) {
+		t.Fatalf("independent ops took %d cycles; they must pipeline", r.cycle)
+	}
+}
+
+func TestBarrierBlocksUntilAllWarpsArrive(t *testing.T) {
+	// Per-warp imbalance before a barrier: the fast warp must wait.
+	prog := build(t, func(b *isa.Builder) {
+		b.Loop(isa.LoopSpec{Min: 1, Max: 20, Imb: isa.ImbPerWarp})
+		b.IAdd(1, 1, 1)
+		b.EndLoop()
+		b.Bar()
+		b.IAdd(2, 2, 2)
+		b.Exit()
+	})
+	r := newRig(t, prog, 128, 1) // 4 warps
+	tb := r.sm.AssignTB(0, 0)
+
+	sawWaiting := false
+	for i := 0; i < 5000 && !r.sm.Done(); i++ {
+		r.step()
+		if tb.WarpsAtBarrier > 0 && tb.WarpsAtBarrier < len(tb.Warps) {
+			sawWaiting = true
+			for _, w := range tb.Warps {
+				// A warp at the barrier must never be past pc 3 (the
+				// instruction after Bar) while siblings still run.
+				if w.AtBarrier() && w.PC() != 3 {
+					t.Fatalf("barrier-blocked warp at pc %d", w.PC())
+				}
+			}
+		}
+	}
+	if !r.sm.Done() {
+		t.Fatal("barrier kernel did not finish")
+	}
+	if !sawWaiting {
+		t.Fatal("imbalanced warps never actually waited at the barrier")
+	}
+	if tb.WarpsAtBarrier != 0 {
+		t.Fatal("barrier count not reset")
+	}
+}
+
+func TestGlobalLoadProducesIdleOrSBWhileWaiting(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+		b.IAdd(2, 1, 1) // depends on the load
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 100000)
+	// The single warp waits out a full memory round trip.
+	if r.cycle < int64(r.cfg.L2HitLatency) {
+		t.Fatalf("load completed in %d cycles; miss path not exercised", r.cycle)
+	}
+	if r.sm.StallTotal().Scoreboard == 0 {
+		t.Fatal("no scoreboard stalls while load in flight")
+	}
+}
+
+func TestUncoalescedLoadOccupiesLDSTUnitPerLine(t *testing.T) {
+	coalesced := build(t, func(b *isa.Builder) {
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+		b.IAdd(2, 1, 1)
+		b.Exit()
+	})
+	scattered := build(t, func(b *isa.Builder) {
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatRandom, Region: 16 << 20})
+		b.IAdd(2, 1, 1)
+		b.Exit()
+	})
+	rc := newRig(t, coalesced, 32, 1)
+	rc.sm.AssignTB(0, 0)
+	rc.runToCompletion(t, 100000)
+	rs := newRig(t, scattered, 32, 1)
+	rs.sm.AssignTB(0, 0)
+	rs.runToCompletion(t, 100000)
+	if rs.cycle <= rc.cycle {
+		t.Fatalf("scattered load (%d cycles) not slower than coalesced (%d)", rs.cycle, rc.cycle)
+	}
+}
+
+func TestSharedMemBankConflictLatency(t *testing.T) {
+	free := build(t, func(b *isa.Builder) {
+		b.LdShared(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+		b.IAdd(2, 1, 1)
+		b.Exit()
+	})
+	conflict := build(t, func(b *isa.Builder) {
+		b.LdShared(1, isa.MemSpec{Pattern: isa.PatStrided, Stride: 128}) // 32-way conflict
+		b.IAdd(2, 1, 1)
+		b.Exit()
+	})
+	rf := newRig(t, free, 32, 1)
+	rf.sm.AssignTB(0, 0)
+	rf.runToCompletion(t, 10000)
+	rcf := newRig(t, conflict, 32, 1)
+	rcf.sm.AssignTB(0, 0)
+	rcf.runToCompletion(t, 10000)
+	if rcf.cycle <= rf.cycle {
+		t.Fatalf("bank-conflicted access (%d) not slower than conflict-free (%d)", rcf.cycle, rf.cycle)
+	}
+}
+
+func TestSFUQueueSaturationGivesPipelineStalls(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.Repeat(8, func() { b.SFU(1, 0) })
+		b.Exit()
+	})
+	// Many warps all hammering the single SFU port.
+	r := newRig(t, prog, 1536, 1)
+	r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 100000)
+	if r.sm.StallTotal().Pipeline == 0 {
+		t.Fatal("SFU saturation produced no pipeline stalls")
+	}
+}
+
+func TestStoreIsFireAndForget(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.StGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+		b.IAdd(2, 2, 2) // independent: must not wait for the store
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 100000)
+	// Far faster than a memory round trip: the warp never waits on the
+	// store data path.
+	if r.cycle > int64(r.cfg.L2HitLatency) {
+		t.Fatalf("store blocked the warp: %d cycles", r.cycle)
+	}
+}
+
+func TestIdleStallsWhenNoResidentTBs(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IAdd(1, 1, 1)
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.step()
+	r.step()
+	st := r.sm.StallTotal()
+	if st.Idle != int64(2*r.cfg.SchedulersPerSM) {
+		t.Fatalf("empty SM idle slots = %d, want %d", st.Idle, 2*r.cfg.SchedulersPerSM)
+	}
+}
+
+func TestIFetchGapProducesIdle(t *testing.T) {
+	// One warp, long straight-line code: every i-buffer drain inserts a
+	// fetch bubble classified as Idle.
+	prog := build(t, func(b *isa.Builder) {
+		b.Repeat(16, func() { b.IAdd(1, 0, 0) })
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.sm.AssignTB(0, 0)
+	r.runToCompletion(t, 10000)
+	if r.sm.StallTotal().Idle == 0 {
+		t.Fatal("no idle cycles despite fetch bubbles and a single warp")
+	}
+}
+
+func TestMultipleTBsAssignAndRetireIndependently(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.Loop(isa.LoopSpec{Min: 1, Max: 8, Imb: isa.ImbPerTB})
+		b.IAdd(1, 1, 1)
+		b.EndLoop()
+		b.Exit()
+	})
+	r := newRig(t, prog, 256, 8)
+	retired := 0
+	r.sm.OnTBRetireFn = func(tb *ThreadBlock, _ int64) { retired++ }
+	for i := 0; i < 6; i++ {
+		if !r.sm.CanAccept() {
+			t.Fatalf("SM refused TB %d below residency limit", i)
+		}
+		r.sm.AssignTB(i, 0)
+	}
+	if r.sm.CanAccept() {
+		t.Fatal("SM accepted beyond residency limit (256-thread TBs → 6)")
+	}
+	r.runToCompletion(t, 100000)
+	if retired != 6 {
+		t.Fatalf("retired %d TBs, want 6", retired)
+	}
+}
+
+func TestWarpSlotsContiguousPerTB(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IAdd(1, 1, 1)
+		b.Exit()
+	})
+	r := newRig(t, prog, 256, 4)
+	tb0 := r.sm.AssignTB(0, 0)
+	tb1 := r.sm.AssignTB(1, 0)
+	wpt := r.sm.Launch.WarpsPerTB()
+	for i, w := range tb0.Warps {
+		if w.Slot != tb0.Slot*wpt+i {
+			t.Fatalf("tb0 warp %d at slot %d", i, w.Slot)
+		}
+	}
+	for i, w := range tb1.Warps {
+		if w.Slot != tb1.Slot*wpt+i {
+			t.Fatalf("tb1 warp %d at slot %d", i, w.Slot)
+		}
+	}
+	// Scheduler-slot interleave: warps of one TB alternate slots.
+	if tb0.Warps[0].SchedSlot == tb0.Warps[1].SchedSlot {
+		t.Fatal("adjacent warps share a scheduler slot; expected interleave")
+	}
+}
+
+func TestStallBreakdownConsistencyUnderLoad(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatRandom, Region: 1 << 22})
+		b.IAdd(2, 1, 1)
+		b.Bar()
+		b.SFU(3, 2)
+		b.Exit()
+	})
+	r := newRig(t, prog, 512, 3)
+	for i := 0; i < 3; i++ {
+		r.sm.AssignTB(i, 0)
+	}
+	r.runToCompletion(t, 500000)
+	var total stats.StallBreakdown
+	for _, s := range r.sm.Stalls {
+		total.Add(s)
+	}
+	if total.Slots() != r.cycle*int64(r.cfg.SchedulersPerSM) {
+		t.Fatalf("accounting: %d slots vs %d cycles×%d",
+			total.Slots(), r.cycle, r.cfg.SchedulersPerSM)
+	}
+	if total.Issued != r.sm.WarpInstrs {
+		t.Fatal("issued slots != warp instructions")
+	}
+}
+
+func TestAssignToFullSMPanics(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.IAdd(1, 1, 1)
+		b.Exit()
+	})
+	r := newRig(t, prog, 1536, 2)
+	r.sm.AssignTB(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AssignTB on full SM did not panic")
+		}
+	}()
+	r.sm.AssignTB(1, 0)
+}
+
+func TestInstructionCacheMissAddsFetchLatency(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.Repeat(12, func() { b.IAdd(1, 0, 0) })
+		b.Exit()
+	})
+	base := newRig(t, prog, 32, 1)
+	base.sm.AssignTB(0, 0)
+	base.runToCompletion(t, 10000)
+
+	// Tiny icache with a big miss penalty: cold misses on every line.
+	cfg := config.GTX480()
+	cfg.ICacheSize = 2 * 8 * 2 // 2 lines of 2 instructions
+	cfg.ICacheAssoc = 1
+	cfg.ICacheLineInstrs = 2
+	cfg.ICacheMissLatency = 50
+	wheel := timing.NewWheel()
+	mem := memsys.New(cfg, wheel)
+	launch := &Launch{Program: prog, GridTBs: 1, BlockThreads: 32, Seed: 3}
+	r2 := &rig{cfg: cfg, wheel: wheel, mem: mem}
+	r2.sm = NewSM(0, cfg, wheel, mem, launch, func(sm *SM) Scheduler { return &passAll{sm: sm} })
+	r2.sm.AssignTB(0, 0)
+	r2.runToCompletion(t, 100000)
+
+	if r2.cycle <= base.cycle+50 {
+		t.Fatalf("icache misses added no latency: %d vs %d", r2.cycle, base.cycle)
+	}
+}
+
+func TestInstructionCacheDisabledByDefault(t *testing.T) {
+	if config.GTX480().ICacheSize != 0 {
+		t.Fatal("default config must disable the icache (recorded results assume it)")
+	}
+}
+
+func TestUncoalescedStoreHoldsLDSTUnit(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.StGlobal(1, isa.MemSpec{Pattern: isa.PatRandom, Region: 16 << 20}) // ~32 lines
+		b.LdShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})                // needs the LD/ST unit
+		b.IAdd(3, 2, 2)
+		b.Exit()
+	})
+	r := newRig(t, prog, 32, 1)
+	r.sm.AssignTB(0, 0)
+
+	// The store issues first; the shared load must wait until the store's
+	// transactions drained at one line per cycle. Count the pipeline
+	// stalls accrued while the single warp was ready but the unit busy.
+	r.runToCompletion(t, 100000)
+	if st := r.sm.StallTotal(); st.Pipeline < 16 {
+		t.Fatalf("only %d pipeline stalls; uncoalesced store did not hold the LD/ST unit", st.Pipeline)
+	}
+}

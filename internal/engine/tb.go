@@ -1,0 +1,61 @@
+package engine
+
+// ThreadBlock is one resident thread block on an SM. The engine tracks
+// the quantities every scheduler may need — progress, warps at barrier,
+// warps finished — because the paper's hardware proposal (Sec. III-E)
+// maintains exactly these registers per TB.
+type ThreadBlock struct {
+	// Global is the TB index within the grid.
+	Global int
+	// SMID is the SM the block resides on; Slot the resident TB slot.
+	SMID int
+	Slot int
+	// Launch is the owning kernel launch.
+	Launch *Launch
+	// Warps are the TB's warps, in warp-id order (contiguous SM slots).
+	Warps []*Warp
+
+	// Progress is the paper's TBProgress: thread-instructions executed by
+	// the TB's threads.
+	Progress int64
+	// WarpsAtBarrier is the paper's nWarpsAtBar register.
+	WarpsAtBarrier int
+	// WarpsFinished is the paper's nWarpsFin register.
+	WarpsFinished int
+
+	// StartCycle/EndCycle bound the TB's residency (Fig. 2 raw data).
+	StartCycle int64
+	EndCycle   int64
+	// barrierStart is the cycle the current barrier episode began (first
+	// warp arrived); 0 when no episode is open.
+	barrierStart int64
+	// LaunchSeq is how-many-th TB this SM received (0-based).
+	LaunchSeq int
+}
+
+// Done reports whether every warp has finished.
+func (tb *ThreadBlock) Done() bool { return tb.WarpsFinished == len(tb.Warps) }
+
+// WarpDisparity returns the spread (max − min) of the warps' finish
+// cycles — the paper's "warp-level divergence" made measurable. Valid
+// once the TB is Done.
+func (tb *ThreadBlock) WarpDisparity() int64 {
+	var lo, hi int64 = 1<<62 - 1, 0
+	for _, w := range tb.Warps {
+		if w.FinishCycle < lo {
+			lo = w.FinishCycle
+		}
+		if w.FinishCycle > hi {
+			hi = w.FinishCycle
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return hi - lo
+}
+
+// barrierComplete reports whether every warp has arrived at the barrier.
+func (tb *ThreadBlock) barrierComplete() bool {
+	return tb.WarpsAtBarrier == len(tb.Warps)
+}

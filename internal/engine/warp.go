@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// regPendingLoad marks a register whose producing load has not returned;
+// cleared by the memory-completion callback.
+const regPendingLoad = math.MaxInt64
+
+// simtEntry is one SIMT reconvergence-stack entry: the threads in Mask
+// execute from PC and rejoin the entry below when PC reaches Reconv.
+type simtEntry struct {
+	PC     int32
+	Reconv int32 // -1 on the base entry (never pops)
+	Mask   uint32
+}
+
+// Warp is one warp's execution state. All mutation happens through the
+// owning SM's issue path.
+type Warp struct {
+	// SM is the owning core; TB the owning thread block.
+	SM *SM
+	TB *ThreadBlock
+	// IDInTB is the warp index within its TB; Slot is the SM warp slot;
+	// SchedSlot is the hardware scheduler that owns this warp
+	// (Slot % SchedulersPerSM, interleaving a TB's warps across
+	// schedulers as on Fermi).
+	IDInTB    int
+	Slot      int
+	SchedSlot int
+
+	// Progress is the paper's WarpProgress: thread-instructions executed
+	// (issues weighted by active lanes). Maintained by the SM on every
+	// issue so any scheduler may read it.
+	Progress int64
+	// Issued counts warp-instructions issued.
+	Issued int64
+	// SpawnCycle is when the warp was created (GTO's age).
+	SpawnCycle int64
+	// FinishCycle is when the warp exited (0 while running). The spread
+	// of finish cycles across a TB's warps is the paper's "warp-level
+	// divergence".
+	FinishCycle int64
+
+	stack    []simtEntry
+	atBar    bool
+	finished bool
+
+	// regReady[r] is the first cycle register r can be read/overwritten.
+	regReady [int(isa.MaxReg) + 1]int64
+	// outstandingLoads counts in-flight global loads/atomics.
+	outstandingLoads int
+
+	// visits[pc] counts dynamic executions of each static instruction —
+	// the iteration coordinate for address/branch hashing.
+	visits []int32
+	// loopRem[loop*32+lane] is the remaining back-branch takes for each
+	// lane; re-armed on loop exit so nested re-entry works.
+	loopRem []int32
+
+	// ibuf is the number of decoded instructions available; when it
+	// drains, a refill arrives ifetchLatency cycles later.
+	ibuf      int
+	fetchBusy bool
+}
+
+// newWarp builds the warp in its initial state: converged at PC 0 with
+// its population mask, loop counters armed, i-buffer empty (first fetch
+// is scheduled by the SM).
+func newWarp(sm *SM, tb *ThreadBlock, idInTB, slot int, cycle int64) *Warp {
+	l := tb.Launch
+	threads := l.BlockThreads - idInTB*config.WarpSize
+	if threads > config.WarpSize {
+		threads = config.WarpSize
+	}
+	mask := uint32(math.MaxUint32)
+	if threads < config.WarpSize {
+		mask = uint32(1)<<uint(threads) - 1
+	}
+	w := &Warp{
+		SM:         sm,
+		TB:         tb,
+		IDInTB:     idInTB,
+		Slot:       slot,
+		SchedSlot:  slot % sm.Cfg.SchedulersPerSM,
+		SpawnCycle: cycle,
+		stack:      []simtEntry{{PC: 0, Reconv: -1, Mask: mask}},
+		visits:     make([]int32, l.Program.Len()),
+		loopRem:    make([]int32, len(l.Program.Loops)*config.WarpSize),
+	}
+	for loopID := range l.Program.Loops {
+		w.armLoop(loopID)
+	}
+	return w
+}
+
+// armLoop initializes the remaining-take counters of loopID for every
+// populated lane: a trip count of N means the body runs N times, so the
+// back-branch is taken N-1 times.
+func (w *Warp) armLoop(loopID int) {
+	prog := w.TB.Launch.Program
+	for lane := 0; lane < config.WarpSize; lane++ {
+		t := prog.Trips(loopID, w.TB.Launch.Seed, w.TB.Global, w.IDInTB, lane)
+		w.loopRem[loopID*config.WarpSize+lane] = int32(t - 1)
+	}
+}
+
+// Finished reports whether every thread of the warp has exited.
+func (w *Warp) Finished() bool { return w.finished }
+
+// AtBarrier reports whether the warp is blocked at a barrier.
+func (w *Warp) AtBarrier() bool { return w.atBar }
+
+// Valid reports whether the warp has an instruction available for issue
+// consideration: alive, not at a barrier, with a decoded instruction in
+// its buffer. A warp that is not Valid contributes to Idle stalls.
+func (w *Warp) Valid() bool {
+	return !w.finished && !w.atBar && w.ibuf > 0
+}
+
+// PC returns the warp's current program counter (top of the SIMT stack),
+// or -1 when finished.
+func (w *Warp) PC() int {
+	if w.finished {
+		return -1
+	}
+	return int(w.stack[len(w.stack)-1].PC)
+}
+
+// ActiveMask returns the active-lane mask, 0 when finished.
+func (w *Warp) ActiveMask() uint32 {
+	if w.finished {
+		return 0
+	}
+	return w.stack[len(w.stack)-1].Mask
+}
+
+// ActiveLanes returns the number of active lanes.
+func (w *Warp) ActiveLanes() int { return bits.OnesCount32(w.ActiveMask()) }
+
+// NextInstr returns the instruction the warp would issue, or nil when not
+// Valid.
+func (w *Warp) NextInstr() *isa.Instr {
+	if !w.Valid() {
+		return nil
+	}
+	return w.TB.Launch.Program.At(w.PC())
+}
+
+// ScoreboardReady reports whether in's source and destination registers
+// are all available at cycle (RAW and WAW hazards clear).
+func (w *Warp) ScoreboardReady(in *isa.Instr, cycle int64) bool {
+	if in.Dst != isa.NoReg && w.regReady[in.Dst] > cycle {
+		return false
+	}
+	for _, s := range in.Srcs {
+		if s != isa.NoReg && w.regReady[s] > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// OutstandingLoads returns the number of global loads/atomics in flight —
+// the long-latency signal the TL scheduler watches.
+func (w *Warp) OutstandingLoads() int { return w.outstandingLoads }
+
+// setRegLatency marks dst unavailable until cycle+lat.
+func (w *Warp) setRegLatency(dst isa.Reg, cycle, lat int64) {
+	if dst != isa.NoReg {
+		w.regReady[dst] = cycle + lat
+	}
+}
+
+// advancePC moves the top-of-stack past a non-branch instruction and pops
+// reconverged entries.
+func (w *Warp) advancePC() {
+	w.stack[len(w.stack)-1].PC++
+	w.popReconverged()
+}
+
+func (w *Warp) popReconverged() {
+	for len(w.stack) > 1 {
+		top := &w.stack[len(w.stack)-1]
+		if top.Reconv < 0 || top.PC != top.Reconv {
+			return
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+}
+
+// execBranch applies the branch at pc to the SIMT stack. iter is the
+// dynamic execution index used for hashed predicates.
+func (w *Warp) execBranch(in *isa.Instr, pc int, iter int64) {
+	br := in.Branch
+	top := &w.stack[len(w.stack)-1]
+	mask := top.Mask
+
+	var jumpMask uint32
+	if br.Kind == isa.BrLoop {
+		// Lanes with remaining takes jump back; exhausted lanes fall
+		// through and re-arm for a possible re-entry.
+		base := br.LoopID * config.WarpSize
+		prog := w.TB.Launch.Program
+		for lanes := mask; lanes != 0; {
+			l := bits.TrailingZeros32(lanes)
+			lanes &^= 1 << uint(l)
+			if w.loopRem[base+l] > 0 {
+				w.loopRem[base+l]--
+				jumpMask |= 1 << uint(l)
+			} else {
+				t := prog.Trips(br.LoopID, w.TB.Launch.Seed, w.TB.Global, w.IDInTB, l)
+				w.loopRem[base+l] = int32(t - 1)
+			}
+		}
+	} else {
+		// Forward branches: predicate-FALSE lanes jump to Target.
+		pred := isa.PredMask(br, w.TB.Launch.Seed, w.TB.Global, w.IDInTB, pc, iter, mask)
+		jumpMask = mask &^ pred
+	}
+	fallMask := mask &^ jumpMask
+
+	switch {
+	case jumpMask == 0:
+		top.PC = int32(pc + 1)
+	case fallMask == 0:
+		top.PC = int32(br.Target)
+	default:
+		// Divergence: the current entry becomes the reconvergence entry;
+		// the fall-through side is pushed below the jump side so the jump
+		// side executes first (order is arbitrary but fixed).
+		top.PC = int32(br.Reconv)
+		w.stack = append(w.stack,
+			simtEntry{PC: int32(pc + 1), Reconv: int32(br.Reconv), Mask: fallMask},
+			simtEntry{PC: int32(br.Target), Reconv: int32(br.Reconv), Mask: jumpMask},
+		)
+	}
+	w.popReconverged()
+}

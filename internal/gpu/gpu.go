@@ -1,0 +1,195 @@
+// Package gpu assembles the full simulated GPU — SM array, global
+// Thread Block Scheduler (gigathread engine), memory hierarchy, clock —
+// and runs kernel launches to completion.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Options tune one simulation run.
+type Options struct {
+	// Timeline records per-TB lifetimes (Fig. 2 data).
+	Timeline bool
+	// SampleEvery, when positive, records a stats.Sample of the
+	// aggregate counters every SampleEvery cycles (phase analysis).
+	SampleEvery int64
+	// MaxCycles aborts a runaway simulation; 0 means the default.
+	MaxCycles int64
+	// StallWindow aborts when no SM issues for this many consecutive
+	// cycles (deadlock watchdog); 0 means the default.
+	StallWindow int64
+}
+
+const (
+	defaultMaxCycles   = 200_000_000
+	defaultStallWindow = 2_000_000
+)
+
+// OrderTracer is implemented by scheduling policies that record
+// Table IV-style priority-order samples (PRO does, on SM 0).
+type OrderTracer interface {
+	OrderSamples() []stats.OrderSample
+}
+
+// Run simulates launch on a GPU described by cfg under the scheduling
+// policy produced by factory, and returns the collected result.
+func Run(cfg *config.Config, launch *engine.Launch, factory engine.Factory, opts Options) (*stats.KernelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := launch.Validate(cfg); err != nil {
+		return nil, err
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+	stallWindow := opts.StallWindow
+	if stallWindow <= 0 {
+		stallWindow = defaultStallWindow
+	}
+
+	wheel := timing.NewWheel()
+	mem := memsys.New(cfg, wheel)
+
+	pending := launch.GridTBs
+	assignedNext := 0
+
+	res := &stats.KernelResult{
+		Kernel:  launch.Program.Name,
+		TBCount: launch.GridTBs,
+	}
+
+	sms := make([]*engine.SM, cfg.NumSMs)
+	for i := range sms {
+		sm := engine.NewSM(i, cfg, wheel, mem, launch, factory)
+		sm.PendingTBsFn = func() int { return pending }
+		if opts.Timeline {
+			sm.OnTBRetireFn = func(tb *engine.ThreadBlock, cycle int64) {
+				res.Timeline = append(res.Timeline, stats.TBSpan{
+					TB: tb.Global, SM: tb.SMID, Slot: tb.LaunchSeq,
+					Start: tb.StartCycle, End: tb.EndCycle,
+				})
+			}
+		}
+		sms[i] = sm
+	}
+	res.Scheduler = sms[0].Sched.Name()
+
+	// Thread Block Scheduler: breadth-first round-robin assignment; after
+	// the initial fill, TBs go out one at a time as residency frees up
+	// (paper Sec. I). rr persists across cycles so freed slots anywhere
+	// get the next TB in grid order.
+	rr := 0
+	assign := func(cycle int64) {
+		for pending > 0 {
+			placed := false
+			for probe := 0; probe < len(sms); probe++ {
+				sm := sms[(rr+probe)%len(sms)]
+				if sm.CanAccept() {
+					sm.AssignTB(assignedNext, cycle)
+					assignedNext++
+					pending--
+					rr = (rr + probe + 1) % len(sms)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return
+			}
+		}
+	}
+
+	// Sampling state: snapshot of the aggregate counters at the last
+	// sample point.
+	var lastSample struct {
+		instrs int64
+		stalls stats.StallBreakdown
+	}
+	sample := func(cycle int64) {
+		var cur stats.StallBreakdown
+		var instrs int64
+		resident := 0
+		for _, sm := range sms {
+			cur.Add(sm.StallTotal())
+			instrs += sm.WarpInstrs
+			resident += sm.ResidentTBCount()
+		}
+		res.Samples = append(res.Samples, stats.Sample{
+			Cycle:      cycle,
+			WarpInstrs: instrs - lastSample.instrs,
+			Stalls: stats.StallBreakdown{
+				Issued:     cur.Issued - lastSample.stalls.Issued,
+				Idle:       cur.Idle - lastSample.stalls.Idle,
+				Scoreboard: cur.Scoreboard - lastSample.stalls.Scoreboard,
+				Pipeline:   cur.Pipeline - lastSample.stalls.Pipeline,
+			},
+			ResidentTBs: resident,
+			PendingTBs:  pending,
+		})
+		lastSample.instrs = instrs
+		lastSample.stalls = cur
+	}
+
+	lastIssued := int64(-1)
+	lastIssuedCycle := int64(0)
+	var cycle int64
+	for cycle = 1; ; cycle++ {
+		wheel.Advance(cycle)
+		mem.Tick(cycle)
+		assign(cycle)
+		done := true
+		for _, sm := range sms {
+			sm.Tick(cycle)
+			if !sm.Done() {
+				done = false
+			}
+		}
+		if opts.SampleEvery > 0 && cycle%opts.SampleEvery == 0 {
+			sample(cycle)
+		}
+		if done && pending == 0 {
+			break
+		}
+		if cycle >= maxCycles {
+			return nil, fmt.Errorf("gpu: %s/%s exceeded %d cycles (runaway)",
+				launch.Program.Name, res.Scheduler, maxCycles)
+		}
+		// Deadlock watchdog: total issued instructions must keep moving.
+		var issued int64
+		for _, sm := range sms {
+			issued += sm.WarpInstrs
+		}
+		if issued != lastIssued {
+			lastIssued = issued
+			lastIssuedCycle = cycle
+		} else if cycle-lastIssuedCycle > stallWindow {
+			return nil, fmt.Errorf("gpu: %s/%s deadlocked: no issue since cycle %d (pending TBs %d)",
+				launch.Program.Name, res.Scheduler, lastIssuedCycle, pending)
+		}
+	}
+
+	res.Cycles = cycle
+	for _, sm := range sms {
+		res.Stalls.Add(sm.StallTotal())
+		res.WarpInstrs += sm.WarpInstrs
+		res.ThreadInstrs += sm.ThreadInstrs
+		res.WarpDisparitySum += sm.WarpDisparitySum
+		res.BarrierWaitSum += sm.BarrierWaitSum
+		res.BarrierEpisodes += sm.BarrierEpisodes
+	}
+	res.Mem = mem.Stats()
+	if tr, ok := sms[0].Sched.(OrderTracer); ok {
+		res.OrderTrace = tr.OrderSamples()
+	}
+	stats.SortSpansByStart(res.Timeline)
+	return res, nil
+}

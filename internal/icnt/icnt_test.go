@@ -1,0 +1,104 @@
+package icnt
+
+import (
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestSingleDeliveryTiming(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 2, 2, 10, 32)
+	var at int64
+	n.Send(0, 32, func(c int64) { at = c })
+	w.Advance(100)
+	// Injection starts at cycle 1, serializes 1 cycle, +10 latency = 12.
+	if at != 12 {
+		t.Fatalf("delivered at %d, want 12", at)
+	}
+}
+
+func TestSerializationOfLargePacket(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 1, 1, 10, 32)
+	var at int64
+	n.Send(0, 128, func(c int64) { at = c })
+	w.Advance(100)
+	// 128B at 32B/cycle = 4 cycles: 1+4+10 = 15.
+	if at != 15 {
+		t.Fatalf("delivered at %d, want 15", at)
+	}
+}
+
+func TestPortContentionQueues(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 1, 1, 10, 32)
+	var first, second int64
+	n.Send(0, 128, func(c int64) { first = c })
+	n.Send(0, 128, func(c int64) { second = c })
+	w.Advance(100)
+	if second-first != 4 {
+		t.Fatalf("second packet delivered %d cycles after first, want 4 (serialization)", second-first)
+	}
+}
+
+func TestIndependentPortsDoNotContend(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 2, 1, 10, 32)
+	var a, b int64
+	n.Send(0, 128, func(c int64) { a = c })
+	n.Send(1, 128, func(c int64) { b = c })
+	w.Advance(100)
+	if a != b {
+		t.Fatalf("independent ports delivered at %d and %d; want equal", a, b)
+	}
+}
+
+func TestOccupancySignal(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 1, 1, 10, 32)
+	if n.Occupancy(0) != 0 {
+		t.Fatal("fresh port occupied")
+	}
+	n.Send(0, 320, func(int64) {}) // 10 cycles of serialization
+	if occ := n.Occupancy(0); occ != 11 {
+		t.Fatalf("occupancy = %d, want 11 (start 1 + 10 serialization)", occ)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 2, 2, 10, 32)
+	n.Send(0, 8, func(int64) {})
+	n.Send(3, 128, func(int64) {})
+	if n.Packets != 2 || n.Bytes != 136 {
+		t.Fatalf("counters = (%d, %d), want (2, 136)", n.Packets, n.Bytes)
+	}
+}
+
+func TestPortIDHelpers(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 14, 6, 10, 32)
+	if n.SMPort(3) != 3 {
+		t.Fatal("SMPort wrong")
+	}
+	if n.PartPort(14, 2) != 16 {
+		t.Fatal("PartPort wrong")
+	}
+}
+
+func TestFIFODeliveryPerPort(t *testing.T) {
+	w := timing.NewWheel()
+	n := New(w, 1, 1, 0, 32)
+	var order []int
+	for i := 0; i < 5; i++ {
+		id := i
+		n.Send(0, 32, func(int64) { order = append(order, id) })
+	}
+	w.Advance(50)
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("out-of-order delivery: %v", order)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with structured control flow. Reconvergence
+// points (immediate post-dominators) are known by construction: an
+// if/else region reconverges at its end, a loop's back-branch reconverges
+// at its fall-through. Build returns an error for malformed structure, so
+// workload definitions fail fast.
+//
+// Typical use:
+//
+//	b := isa.NewBuilder("stencil")
+//	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+//	b.Bar()
+//	b.Loop(isa.LoopSpec{Min: 8, Max: 8})
+//	    b.FFMA(2, 1, 2, 0)
+//	b.EndLoop()
+//	b.StGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+//	prog, err := b.Build()
+type Builder struct {
+	name  string
+	code  []Instr
+	loops []LoopSpec
+	stack []frame
+	err   error
+}
+
+type frameKind uint8
+
+const (
+	frameLoop frameKind = iota
+	frameIf
+	frameElse
+)
+
+type frame struct {
+	kind frameKind
+	// loop: index of first body instruction; if/else: index of the OpBra.
+	at int
+	// loop table index for loops.
+	loopID int
+	// if: position of the then-terminating skip branch (filled by Else).
+	skipAt int
+}
+
+// NewBuilder returns a builder for a kernel named name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa: builder %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) emit(in Instr) int {
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// --- Arithmetic ---
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Instr{Op: OpNop}) }
+
+// IAdd emits dst = a + b on the SP pipeline.
+func (b *Builder) IAdd(dst, a, c Reg) { b.emit(Instr{Op: OpIAdd, Dst: dst, Srcs: [3]Reg{a, c}}) }
+
+// IMul emits dst = a * b on the SP pipeline.
+func (b *Builder) IMul(dst, a, c Reg) { b.emit(Instr{Op: OpIMul, Dst: dst, Srcs: [3]Reg{a, c}}) }
+
+// FAdd emits dst = a + b on the SP pipeline.
+func (b *Builder) FAdd(dst, a, c Reg) { b.emit(Instr{Op: OpFAdd, Dst: dst, Srcs: [3]Reg{a, c}}) }
+
+// FMul emits dst = a * b on the SP pipeline.
+func (b *Builder) FMul(dst, a, c Reg) { b.emit(Instr{Op: OpFMul, Dst: dst, Srcs: [3]Reg{a, c}}) }
+
+// FFMA emits dst = a*b + c on the SP pipeline.
+func (b *Builder) FFMA(dst, a, c, d Reg) {
+	b.emit(Instr{Op: OpFFMA, Dst: dst, Srcs: [3]Reg{a, c, d}})
+}
+
+// SFU emits dst = f(a) on the special-function unit.
+func (b *Builder) SFU(dst, a Reg) { b.emit(Instr{Op: OpSFU, Dst: dst, Srcs: [3]Reg{a}}) }
+
+// --- Memory ---
+
+func (b *Builder) mem(op Op, dst Reg, srcs [3]Reg, spec MemSpec) {
+	s := spec
+	b.emit(Instr{Op: op, Dst: dst, Srcs: srcs, Mem: &s})
+}
+
+// LdGlobal emits a global load into dst.
+func (b *Builder) LdGlobal(dst Reg, spec MemSpec) { b.mem(OpLdGlobal, dst, [3]Reg{}, spec) }
+
+// StGlobal emits a global store of src.
+func (b *Builder) StGlobal(src Reg, spec MemSpec) { b.mem(OpStGlobal, NoReg, [3]Reg{src}, spec) }
+
+// AtomGlobal emits a global atomic RMW returning the old value into dst.
+func (b *Builder) AtomGlobal(dst, src Reg, spec MemSpec) {
+	b.mem(OpAtomGlobal, dst, [3]Reg{src}, spec)
+}
+
+// LdShared emits a shared-memory load into dst.
+func (b *Builder) LdShared(dst Reg, spec MemSpec) { b.mem(OpLdShared, dst, [3]Reg{}, spec) }
+
+// StShared emits a shared-memory store of src.
+func (b *Builder) StShared(src Reg, spec MemSpec) { b.mem(OpStShared, NoReg, [3]Reg{src}, spec) }
+
+// LdConst emits a constant-cache load into dst.
+func (b *Builder) LdConst(dst Reg) { b.emit(Instr{Op: OpLdConst, Dst: dst}) }
+
+// --- Synchronization & control ---
+
+// Bar emits a thread-block barrier.
+func (b *Builder) Bar() { b.emit(Instr{Op: OpBar}) }
+
+// Loop opens a structured loop with the given trip specification. Must be
+// matched by EndLoop.
+func (b *Builder) Loop(spec LoopSpec) {
+	if !spec.Valid() {
+		b.fail("invalid loop spec [%d,%d]", spec.Min, spec.Max)
+	}
+	b.loops = append(b.loops, spec)
+	b.stack = append(b.stack, frame{kind: frameLoop, at: len(b.code), loopID: len(b.loops) - 1})
+}
+
+// EndLoop closes the innermost open loop, emitting its back-branch.
+func (b *Builder) EndLoop() {
+	if len(b.stack) == 0 || b.stack[len(b.stack)-1].kind != frameLoop {
+		b.fail("EndLoop without matching Loop")
+		return
+	}
+	f := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	pc := b.emit(Instr{Op: OpBra, Branch: &BranchSpec{
+		Kind:   BrLoop,
+		LoopID: f.loopID,
+		Target: f.at,
+	}})
+	b.code[pc].Branch.Reconv = pc + 1
+}
+
+// If opens a structured conditional: threads satisfying the predicate run
+// the then-block; the rest skip to Else/EndIf. kind must not be BrLoop.
+func (b *Builder) If(kind BranchKind, n int, p float64) {
+	if kind == BrLoop {
+		b.fail("If cannot use BrLoop")
+		return
+	}
+	at := b.emit(Instr{Op: OpBra, Branch: &BranchSpec{Kind: kind, N: n, P: p}})
+	b.stack = append(b.stack, frame{kind: frameIf, at: at})
+}
+
+// IfLaneLess opens a conditional taken by lanes < n.
+func (b *Builder) IfLaneLess(n int) { b.If(BrLaneLess, n, 0) }
+
+// IfRandom opens a conditional taken per-thread with probability p.
+func (b *Builder) IfRandom(p float64) { b.If(BrRandom, 0, p) }
+
+// IfWarpRandom opens a conditional taken per-warp with probability p.
+func (b *Builder) IfWarpRandom(p float64) { b.If(BrWarpRandom, 0, p) }
+
+// Else switches the innermost If to its else-block.
+func (b *Builder) Else() {
+	if len(b.stack) == 0 || b.stack[len(b.stack)-1].kind != frameIf {
+		b.fail("Else without matching If")
+		return
+	}
+	// Terminate the then-block with an unconditional skip to EndIf.
+	// Forward branches send predicate-FALSE threads to Target, so a
+	// BrWarpRandom with P=0 (predicate false for every warp) is an
+	// unconditional jump.
+	skip := b.emit(Instr{Op: OpBra, Branch: &BranchSpec{Kind: BrWarpRandom, P: 0}})
+	f := &b.stack[len(b.stack)-1]
+	f.kind = frameElse
+	f.skipAt = skip
+	// If-branch semantics in the engine: predicate-TRUE threads continue
+	// at pc+1 (then-block), FALSE threads go to Target. Else-block starts
+	// after the skip branch.
+	b.code[f.at].Branch.Target = skip + 1
+}
+
+// EndIf closes the innermost If/Else.
+func (b *Builder) EndIf() {
+	if len(b.stack) == 0 {
+		b.fail("EndIf without matching If")
+		return
+	}
+	f := b.stack[len(b.stack)-1]
+	if f.kind != frameIf && f.kind != frameElse {
+		b.fail("EndIf without matching If")
+		return
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	end := len(b.code)
+	br := b.code[f.at].Branch
+	if f.kind == frameIf {
+		// No else: FALSE threads jump straight to end.
+		br.Target = end
+	} else {
+		// With else: the then-block's skip branch jumps to end; both its
+		// target and reconvergence are end.
+		sk := b.code[f.skipAt].Branch
+		sk.Target = end
+		sk.Reconv = end
+	}
+	br.Reconv = end
+	if br.Target >= len(b.code) || br.Reconv >= len(b.code) {
+		// The region must be followed by at least one instruction for
+		// reconvergence; callers always emit Exit last, but an empty tail
+		// here means a structural bug we catch in Build via Validate.
+		// Defer: record as-is; Validate will reject if out of range after
+		// Build appends nothing.
+		_ = end
+	}
+}
+
+// Exit emits the terminal instruction. The builder rejects Exit inside an
+// open control region (the program must be converged at exit).
+func (b *Builder) Exit() {
+	if len(b.stack) != 0 {
+		b.fail("Exit inside open control region")
+		return
+	}
+	b.emit(Instr{Op: OpExit})
+}
+
+// Repeat emits body n times; a convenience for unrolled instruction
+// sequences.
+func (b *Builder) Repeat(n int, body func()) {
+	for i := 0; i < n; i++ {
+		body()
+	}
+}
+
+// Build finalizes the program: checks structure, appends nothing, and
+// runs Program.Validate.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("isa: builder %s: %d unclosed control regions", b.name, len(b.stack))
+	}
+	if len(b.code) == 0 || b.code[len(b.code)-1].Op != OpExit {
+		return nil, fmt.Errorf("isa: builder %s: program must end with Exit", b.name)
+	}
+	p := &Program{Name: b.name, Code: b.code, Loops: b.loops}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for static workload tables
+// whose correctness is covered by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

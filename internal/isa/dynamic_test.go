@@ -1,0 +1,262 @@
+package isa
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+const fullMask = ^uint32(0)
+
+func TestTripsRespectBoundsAndImbalanceScope(t *testing.T) {
+	for _, imb := range []Imbalance{ImbNone, ImbPerTB, ImbPerWarp, ImbPerThread} {
+		p := &Program{Name: "x", Loops: []LoopSpec{{Min: 3, Max: 9, Imb: imb}}}
+		for tb := 0; tb < 4; tb++ {
+			for w := 0; w < 4; w++ {
+				for lane := 0; lane < 32; lane++ {
+					tr := p.Trips(0, 7, tb, w, lane)
+					if tr < 3 || tr > 9 {
+						t.Fatalf("imb=%s trips=%d out of [3,9]", imb, tr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTripsImbalanceGranularity(t *testing.T) {
+	// ImbNone: identical everywhere. ImbPerTB: constant within a TB.
+	// ImbPerWarp: constant within a warp. ImbPerThread: varies by lane.
+	mk := func(imb Imbalance) *Program {
+		return &Program{Name: "x", Loops: []LoopSpec{{Min: 1, Max: 64, Imb: imb}}}
+	}
+	pNone := mk(ImbNone)
+	ref := pNone.Trips(0, 7, 0, 0, 0)
+	for tb := 0; tb < 3; tb++ {
+		for w := 0; w < 3; w++ {
+			if pNone.Trips(0, 7, tb, w, 5) != ref {
+				t.Fatal("ImbNone varied across threads")
+			}
+		}
+	}
+	pWarp := mk(ImbPerWarp)
+	for lane := 1; lane < 32; lane++ {
+		if pWarp.Trips(0, 7, 2, 3, lane) != pWarp.Trips(0, 7, 2, 3, 0) {
+			t.Fatal("ImbPerWarp varied within a warp")
+		}
+	}
+	varies := false
+	for w := 1; w < 8; w++ {
+		if pWarp.Trips(0, 7, 2, w, 0) != pWarp.Trips(0, 7, 2, 0, 0) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("ImbPerWarp constant across warps (64-value range: collision across all 8 warps is implausible)")
+	}
+	pThr := mk(ImbPerThread)
+	varies = false
+	for lane := 1; lane < 32; lane++ {
+		if pThr.Trips(0, 7, 0, 0, lane) != pThr.Trips(0, 7, 0, 0, 0) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("ImbPerThread constant within a warp")
+	}
+}
+
+func TestTripsFixedWhenMinEqualsMax(t *testing.T) {
+	p := &Program{Name: "x", Loops: []LoopSpec{{Min: 5, Max: 5, Imb: ImbPerThread}}}
+	if p.Trips(0, 123, 9, 9, 9) != 5 {
+		t.Fatal("fixed trip count not honored")
+	}
+}
+
+func TestPredMaskLaneLess(t *testing.T) {
+	br := &BranchSpec{Kind: BrLaneLess, N: 8}
+	m := PredMask(br, 1, 0, 0, 0, 0, fullMask)
+	if m != 0xff {
+		t.Fatalf("lane<8 mask = %#x, want 0xff", m)
+	}
+	// Respects the active mask.
+	m = PredMask(br, 1, 0, 0, 0, 0, 0xf0f0)
+	if m != 0x00f0 {
+		t.Fatalf("masked lane<8 = %#x, want 0x00f0", m)
+	}
+	br32 := &BranchSpec{Kind: BrLaneLess, N: 32}
+	if PredMask(br32, 1, 0, 0, 0, 0, fullMask) != fullMask {
+		t.Fatal("lane<32 must cover all lanes")
+	}
+}
+
+func TestPredMaskRandomProbabilities(t *testing.T) {
+	br := &BranchSpec{Kind: BrRandom, P: 0.5}
+	total, set := 0, 0
+	for iter := int64(0); iter < 200; iter++ {
+		m := PredMask(br, 42, 0, 0, 3, iter, fullMask)
+		set += bits.OnesCount32(m)
+		total += 32
+	}
+	frac := float64(set) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("BrRandom(0.5) set fraction %.3f, want ~0.5", frac)
+	}
+	if PredMask(&BranchSpec{Kind: BrRandom, P: 0}, 42, 0, 0, 3, 0, fullMask) != 0 {
+		t.Fatal("P=0 set lanes")
+	}
+	if PredMask(&BranchSpec{Kind: BrRandom, P: 1}, 42, 0, 0, 3, 0, fullMask) != fullMask {
+		t.Fatal("P=1 missed lanes")
+	}
+}
+
+func TestPredMaskWarpRandomUniform(t *testing.T) {
+	br := &BranchSpec{Kind: BrWarpRandom, P: 0.5}
+	for iter := int64(0); iter < 100; iter++ {
+		m := PredMask(br, 42, 1, 2, 3, iter, fullMask)
+		if m != 0 && m != fullMask {
+			t.Fatalf("warp-uniform predicate split the warp: %#x", m)
+		}
+	}
+}
+
+func TestPredMaskDeterministic(t *testing.T) {
+	f := func(seed uint64, pc uint8, iter uint8) bool {
+		br := &BranchSpec{Kind: BrRandom, P: 0.3}
+		a := PredMask(br, seed, 1, 1, int(pc), int64(iter), fullMask)
+		b := PredMask(br, seed, 1, 1, int(pc), int64(iter), fullMask)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAddrsCoalescedIsOneLine(t *testing.T) {
+	m := &MemSpec{Pattern: PatCoalesced}
+	lines := LineAddrs(nil, m, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	if len(lines) != 1 {
+		t.Fatalf("coalesced warp touched %d lines, want 1", len(lines))
+	}
+}
+
+func TestLineAddrsBroadcastIsOneLine(t *testing.T) {
+	m := &MemSpec{Pattern: PatBroadcast}
+	if got := LineAddrs(nil, m, 1, 3, 2, 0, 5, fullMask, 256, 128); len(got) != 1 {
+		t.Fatalf("broadcast touched %d lines", len(got))
+	}
+}
+
+func TestLineAddrsStridedGrowsWithStride(t *testing.T) {
+	small := LineAddrs(nil, &MemSpec{Pattern: PatStrided, Stride: 8}, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	big := LineAddrs(nil, &MemSpec{Pattern: PatStrided, Stride: 256}, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	if len(small) >= len(big) {
+		t.Fatalf("stride 8 → %d lines, stride 256 → %d; expected growth", len(small), len(big))
+	}
+	if len(big) != 32 {
+		t.Fatalf("stride 256 should give one line per lane, got %d", len(big))
+	}
+}
+
+func TestLineAddrsRandomWithinRegionAndSpace(t *testing.T) {
+	m := &MemSpec{Pattern: PatRandom, Region: 1 << 20, Space: 3}
+	lines := LineAddrs(nil, m, 9, 5, 1, 7, 11, fullMask, 256, 128)
+	base := uint64(4) << 40
+	for _, ln := range lines {
+		if ln < base || ln >= base+(1<<20) {
+			t.Fatalf("line %#x outside space-3 region", ln)
+		}
+		if ln%128 != 0 {
+			t.Fatalf("line %#x not line-aligned", ln)
+		}
+	}
+}
+
+func TestLineAddrsPropertyBounds(t *testing.T) {
+	// Never more lines than active lanes; all distinct; all aligned.
+	f := func(pat uint8, mask uint32, iter uint8) bool {
+		if mask == 0 {
+			mask = 1
+		}
+		m := &MemSpec{
+			Pattern:    AccessPattern(pat % 5),
+			Stride:     64,
+			Region:     1 << 16,
+			IterVaries: iter%2 == 0,
+		}
+		lines := LineAddrs(nil, m, 3, 1, 1, 2, int64(iter), mask, 256, 128)
+		if len(lines) == 0 || len(lines) > bits.OnesCount32(mask) {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, ln := range lines {
+			if ln%128 != 0 || seen[ln] {
+				return false
+			}
+			seen[ln] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAddrsIterVariesChangesAddresses(t *testing.T) {
+	m := &MemSpec{Pattern: PatCoalesced, IterVaries: true}
+	a := LineAddrs(nil, m, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	b := LineAddrs(nil, m, 1, 0, 0, 0, 1, fullMask, 256, 128)
+	if a[0] == b[0] {
+		t.Fatal("IterVaries did not advance addresses")
+	}
+	fixed := &MemSpec{Pattern: PatCoalesced}
+	c := LineAddrs(nil, fixed, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	d := LineAddrs(nil, fixed, 1, 0, 0, 0, 1, fullMask, 256, 128)
+	if c[0] != d[0] {
+		t.Fatal("non-IterVaries addresses moved across iterations")
+	}
+}
+
+func TestBankPassesCoalescedAndBroadcast(t *testing.T) {
+	if BankPasses(&MemSpec{Pattern: PatCoalesced}, 1, 0, 0, 0, 0, fullMask, 32) != 1 {
+		t.Fatal("coalesced shared access should be conflict-free")
+	}
+	if BankPasses(&MemSpec{Pattern: PatBroadcast}, 1, 0, 0, 0, 0, fullMask, 32) != 1 {
+		t.Fatal("broadcast shared access should be conflict-free")
+	}
+}
+
+func TestBankPassesPowerOfTwoStride(t *testing.T) {
+	// Stride of 8 words (32 bytes) on 32 banks: lanes map to 4 distinct
+	// banks, 8 lanes each → 8 passes.
+	got := BankPasses(&MemSpec{Pattern: PatStrided, Stride: 32}, 1, 0, 0, 0, 0, fullMask, 32)
+	if got != 8 {
+		t.Fatalf("stride-32B conflict passes = %d, want 8", got)
+	}
+	// Odd word stride is conflict-free.
+	if BankPasses(&MemSpec{Pattern: PatStrided, Stride: 20}, 1, 0, 0, 0, 0, fullMask, 32) != 1 {
+		t.Fatal("odd-stride access should be conflict-free")
+	}
+}
+
+func TestBankPassesBounds(t *testing.T) {
+	f := func(pat uint8, mask uint32) bool {
+		if mask == 0 {
+			mask = 1
+		}
+		m := &MemSpec{Pattern: AccessPattern(pat % 5), Stride: 8, Region: 4096}
+		p := BankPasses(m, 1, 0, 0, 0, 0, mask, 32)
+		return p >= 1 && p <= bits.OnesCount32(mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSeparation(t *testing.T) {
+	a := LineAddrs(nil, &MemSpec{Pattern: PatCoalesced, Space: 0}, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	b := LineAddrs(nil, &MemSpec{Pattern: PatCoalesced, Space: 1}, 1, 0, 0, 0, 0, fullMask, 256, 128)
+	if a[0] == b[0] {
+		t.Fatal("distinct spaces produced overlapping addresses")
+	}
+}

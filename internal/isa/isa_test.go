@@ -1,0 +1,250 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpUnits(t *testing.T) {
+	cases := []struct {
+		op   Op
+		unit Unit
+	}{
+		{OpIAdd, UnitSP}, {OpFFMA, UnitSP}, {OpNop, UnitSP},
+		{OpSFU, UnitSFU},
+		{OpLdGlobal, UnitMem}, {OpStGlobal, UnitMem}, {OpAtomGlobal, UnitMem},
+		{OpLdShared, UnitMem}, {OpStShared, UnitMem}, {OpLdConst, UnitMem},
+		{OpBra, UnitSP}, {OpBar, UnitSP}, {OpExit, UnitSP},
+	}
+	for _, c := range cases {
+		if c.op.Unit() != c.unit {
+			t.Errorf("%s.Unit() = %s, want %s", c.op, c.op.Unit(), c.unit)
+		}
+	}
+	if !OpLdGlobal.IsGlobalMem() || OpLdShared.IsGlobalMem() {
+		t.Error("IsGlobalMem misclassifies")
+	}
+	if !OpStShared.IsSharedMem() || OpStGlobal.IsSharedMem() {
+		t.Error("IsSharedMem misclassifies")
+	}
+	if !OpBar.IsControl() || OpIAdd.IsControl() {
+		t.Error("IsControl misclassifies")
+	}
+}
+
+func TestBuilderStraightLine(t *testing.T) {
+	b := NewBuilder("straight")
+	b.LdGlobal(1, MemSpec{Pattern: PatCoalesced})
+	b.FFMA(2, 1, 1, 1)
+	b.StGlobal(2, MemSpec{Pattern: PatCoalesced})
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+	mix := p.Mix()
+	if mix.GlobalMem != 2 || mix.SP != 1 {
+		t.Fatalf("mix = %+v", mix)
+	}
+}
+
+func TestBuilderLoopShape(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Loop(LoopSpec{Min: 3, Max: 3})
+	b.IAdd(1, 1, 1)
+	b.EndLoop()
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// code: 0 iadd, 1 bra, 2 exit
+	br := p.At(1).Branch
+	if br == nil || br.Kind != BrLoop || br.Target != 0 || br.Reconv != 2 {
+		t.Fatalf("loop branch = %+v", br)
+	}
+}
+
+func TestBuilderIfElseShape(t *testing.T) {
+	b := NewBuilder("ifelse")
+	b.IfLaneLess(16)
+	b.IAdd(1, 1, 1) // then (pc 1)
+	b.Else()
+	b.IMul(2, 2, 2) // else (pc 3)
+	b.EndIf()
+	b.FAdd(3, 1, 2) // join (pc 4)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifBr := p.At(0).Branch
+	if ifBr.Target != 3 { // else block start (after skip at pc 2)
+		t.Fatalf("if target = %d, want 3", ifBr.Target)
+	}
+	if ifBr.Reconv != 4 {
+		t.Fatalf("if reconv = %d, want 4", ifBr.Reconv)
+	}
+	skip := p.At(2).Branch
+	if skip == nil || skip.Target != 4 || skip.Reconv != 4 || skip.P != 0 {
+		t.Fatalf("skip branch = %+v", skip)
+	}
+}
+
+func TestBuilderIfWithoutElse(t *testing.T) {
+	b := NewBuilder("if")
+	b.IfRandom(0.5)
+	b.IAdd(1, 1, 1)
+	b.EndIf()
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.At(0).Branch
+	if br.Target != 2 || br.Reconv != 2 {
+		t.Fatalf("if branch = %+v", br)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		frag  string
+	}{
+		{"unclosed loop", func(b *Builder) { b.Loop(LoopSpec{Min: 1, Max: 1}); b.IAdd(1, 1, 1) }, "unclosed"},
+		{"stray endloop", func(b *Builder) { b.EndLoop(); b.Exit() }, "EndLoop"},
+		{"stray else", func(b *Builder) { b.Else(); b.Exit() }, "Else"},
+		{"stray endif", func(b *Builder) { b.EndIf(); b.Exit() }, "EndIf"},
+		{"exit in region", func(b *Builder) { b.IfLaneLess(4); b.Exit() }, "Exit inside"},
+		{"no exit", func(b *Builder) { b.IAdd(1, 1, 1) }, "end with Exit"},
+		{"zero-trip loop", func(b *Builder) { b.Loop(LoopSpec{Min: 0, Max: 2}); b.IAdd(1, 1, 1); b.EndLoop(); b.Exit() }, "invalid loop"},
+		{"if with brloop", func(b *Builder) { b.If(BrLoop, 0, 0); b.EndIf(); b.Exit() }, "BrLoop"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder("bad")
+			c.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("Build accepted malformed program")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q lacks %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestValidateBarrierInDivergentRegion(t *testing.T) {
+	// Hand-build: barrier between a lane branch and its reconvergence.
+	p := &Program{Name: "bad", Code: []Instr{
+		{Op: OpBra, Branch: &BranchSpec{Kind: BrLaneLess, N: 8, Target: 3, Reconv: 3}},
+		{Op: OpBar},
+		{Op: OpIAdd, Dst: 1},
+		{Op: OpExit},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "divergent") {
+		t.Fatalf("Validate = %v, want divergent-region error", err)
+	}
+}
+
+func TestValidateBarrierInImbalancedLoop(t *testing.T) {
+	p := &Program{
+		Name: "bad",
+		Code: []Instr{
+			{Op: OpBar},
+			{Op: OpBra, Branch: &BranchSpec{Kind: BrLoop, LoopID: 0, Target: 0, Reconv: 2}},
+			{Op: OpExit},
+		},
+		Loops: []LoopSpec{{Min: 1, Max: 4, Imb: ImbPerWarp}},
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "imbalanced loop") {
+		t.Fatalf("Validate = %v, want imbalanced-loop error", err)
+	}
+}
+
+func TestValidateBarrierInUniformLoopOK(t *testing.T) {
+	p := &Program{
+		Name: "ok",
+		Code: []Instr{
+			{Op: OpBar},
+			{Op: OpBra, Branch: &BranchSpec{Kind: BrLoop, LoopID: 0, Target: 0, Reconv: 2}},
+			{Op: OpExit},
+		},
+		Loops: []LoopSpec{{Min: 4, Max: 4}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate rejected barrier in uniform loop: %v", err)
+	}
+}
+
+func TestValidateRejectsStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"empty", &Program{Name: "x"}},
+		{"no exit", &Program{Name: "x", Code: []Instr{{Op: OpIAdd}}}},
+		{"two exits", &Program{Name: "x", Code: []Instr{{Op: OpExit}, {Op: OpExit}}}},
+		{"mem without spec", &Program{Name: "x", Code: []Instr{{Op: OpLdGlobal, Dst: 1}, {Op: OpExit}}}},
+		{"bra without spec", &Program{Name: "x", Code: []Instr{{Op: OpBra}, {Op: OpExit}}}},
+		{"target oob", &Program{Name: "x", Code: []Instr{
+			{Op: OpBra, Branch: &BranchSpec{Kind: BrLaneLess, Target: 9, Reconv: 1}}, {Op: OpExit}}}},
+		{"forward branch backward", &Program{Name: "x", Code: []Instr{
+			{Op: OpIAdd},
+			{Op: OpBra, Branch: &BranchSpec{Kind: BrLaneLess, Target: 0, Reconv: 2}},
+			{Op: OpExit}}}},
+		{"bad probability", &Program{Name: "x", Code: []Instr{
+			{Op: OpBra, Branch: &BranchSpec{Kind: BrRandom, P: 1.5, Target: 1, Reconv: 1}},
+			{Op: OpExit}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.prog.Validate(); err == nil {
+				t.Fatal("Validate accepted malformed program")
+			}
+		})
+	}
+}
+
+func TestDisassemblyRoundtripMentionsEverything(t *testing.T) {
+	b := NewBuilder("disasm")
+	b.LdGlobal(1, MemSpec{Pattern: PatRandom, Region: 4096, Space: 2})
+	b.Loop(LoopSpec{Min: 2, Max: 2})
+	b.FFMA(3, 1, 1, 1)
+	b.EndLoop()
+	b.Exit()
+	p := b.MustBuild()
+	s := p.String()
+	for _, frag := range []string{"disasm", "ld.global", "random", "ffma", "bra", "exit", ".loop 0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("disassembly lacks %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	b := NewBuilder("nested")
+	b.Loop(LoopSpec{Min: 2, Max: 2})
+	b.Loop(LoopSpec{Min: 3, Max: 3})
+	b.IAdd(1, 1, 1)
+	b.EndLoop()
+	b.EndLoop()
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Loops) != 2 {
+		t.Fatalf("loop table has %d entries, want 2", len(p.Loops))
+	}
+	// Inner back-branch at pc 1 targets 0; outer at pc 2 targets 0.
+	if p.At(1).Branch.LoopID != 1 || p.At(2).Branch.LoopID != 0 {
+		t.Fatalf("loop ids: inner=%d outer=%d", p.At(1).Branch.LoopID, p.At(2).Branch.LoopID)
+	}
+}

@@ -1,0 +1,155 @@
+// Package isa defines the simulator's miniature SIMT instruction set, the
+// program representation, and a structured-control-flow program builder.
+//
+// The ISA is deliberately small: it carries exactly the information a warp
+// scheduler's environment observes — which execution unit an instruction
+// needs, its result latency class, its register dependences, whether it
+// touches the memory system (and with what address pattern), and whether it
+// branches (and with what divergence behaviour). Arithmetic values are not
+// computed; addresses and branch outcomes are derived from deterministic
+// hashes so runs are reproducible and independent of data values, while
+// still exhibiting the paper's phenomena (long-latency loads, intra-warp
+// divergence, warp-level divergence, barrier waits).
+package isa
+
+import "fmt"
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpNop does nothing but still occupies an issue slot (SP unit).
+	OpNop Op = iota
+	// OpIAdd is integer add/sub/logic (SP unit, ALU latency).
+	OpIAdd
+	// OpIMul is integer multiply (SP unit, ALU latency).
+	OpIMul
+	// OpFAdd is floating add (SP unit, ALU latency).
+	OpFAdd
+	// OpFMul is floating multiply (SP unit, ALU latency).
+	OpFMul
+	// OpFFMA is fused multiply-add (SP unit, ALU latency).
+	OpFFMA
+	// OpSFU is a special-function op: rcp, rsqrt, sin, exp (SFU unit).
+	OpSFU
+	// OpLdGlobal loads from global memory through L1/L2/DRAM (MEM unit).
+	OpLdGlobal
+	// OpStGlobal stores to global memory, write-through around L1 (MEM unit).
+	OpStGlobal
+	// OpAtomGlobal is a global atomic read-modify-write resolved at L2
+	// (MEM unit). It bypasses L1 like GPGPU-Sim's global atomics.
+	OpAtomGlobal
+	// OpLdShared loads from per-SM shared memory (MEM unit, bank conflicts).
+	OpLdShared
+	// OpStShared stores to shared memory (MEM unit, bank conflicts).
+	OpStShared
+	// OpLdConst loads from the constant cache (MEM unit, short fixed
+	// latency, always hits).
+	OpLdConst
+	// OpBar is a thread-block-wide barrier (CUDA __syncthreads).
+	OpBar
+	// OpBra is a conditional branch described by a BranchSpec.
+	OpBra
+	// OpExit terminates the warp. Programs end with exactly one OpExit and
+	// reach it with all threads converged.
+	OpExit
+
+	opCount // number of opcodes; keep last
+)
+
+var opNames = [opCount]string{
+	OpNop:        "nop",
+	OpIAdd:       "iadd",
+	OpIMul:       "imul",
+	OpFAdd:       "fadd",
+	OpFMul:       "fmul",
+	OpFFMA:       "ffma",
+	OpSFU:        "sfu",
+	OpLdGlobal:   "ld.global",
+	OpStGlobal:   "st.global",
+	OpAtomGlobal: "atom.global",
+	OpLdShared:   "ld.shared",
+	OpStShared:   "st.shared",
+	OpLdConst:    "ld.const",
+	OpBar:        "bar.sync",
+	OpBra:        "bra",
+	OpExit:       "exit",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Unit identifies the execution unit an instruction issues to.
+type Unit uint8
+
+const (
+	// UnitSP is the streaming-processor (CUDA core) pipeline. Control
+	// instructions (branch, barrier, exit) also occupy an SP issue slot,
+	// matching GPGPU-Sim where they flow through the SP pipeline.
+	UnitSP Unit = iota
+	// UnitSFU is the special-function unit pipeline.
+	UnitSFU
+	// UnitMem is the load/store unit.
+	UnitMem
+
+	// UnitCount is the number of execution unit kinds.
+	UnitCount
+)
+
+// String names the unit.
+func (u Unit) String() string {
+	switch u {
+	case UnitSP:
+		return "SP"
+	case UnitSFU:
+		return "SFU"
+	case UnitMem:
+		return "MEM"
+	}
+	return fmt.Sprintf("unit(%d)", uint8(u))
+}
+
+// UnitOf returns the execution unit for an opcode.
+func (o Op) Unit() Unit {
+	switch o {
+	case OpSFU:
+		return UnitSFU
+	case OpLdGlobal, OpStGlobal, OpAtomGlobal, OpLdShared, OpStShared, OpLdConst:
+		return UnitMem
+	default:
+		return UnitSP
+	}
+}
+
+// IsMem reports whether the opcode accesses a memory space.
+func (o Op) IsMem() bool { return o.Unit() == UnitMem }
+
+// IsGlobalMem reports whether the opcode goes to the global-memory
+// hierarchy (L1/L2/DRAM).
+func (o Op) IsGlobalMem() bool {
+	return o == OpLdGlobal || o == OpStGlobal || o == OpAtomGlobal
+}
+
+// IsSharedMem reports whether the opcode accesses shared memory.
+func (o Op) IsSharedMem() bool { return o == OpLdShared || o == OpStShared }
+
+// IsControl reports whether the opcode changes control flow or warp state
+// rather than producing a value.
+func (o Op) IsControl() bool { return o == OpBra || o == OpBar || o == OpExit }
+
+// Reg is a per-thread register index. Register 0 is the hardwired zero /
+// "no register" sentinel; usable registers are 1..63 so a warp's pending
+// writes fit in one 64-bit scoreboard mask (Fermi allows up to 63
+// registers per thread, conveniently).
+type Reg uint8
+
+// NoReg is the absent-register sentinel.
+const NoReg Reg = 0
+
+// MaxReg is the highest usable register index.
+const MaxReg Reg = 63

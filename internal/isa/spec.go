@@ -1,0 +1,171 @@
+package isa
+
+import "fmt"
+
+// AccessPattern describes how the 32 threads of a warp compute addresses
+// for one static memory instruction. Patterns are evaluated with
+// deterministic hashes of (kernel seed, TB, warp, lane, pc, iteration), so
+// the same program run twice produces the same memory traffic.
+type AccessPattern uint8
+
+const (
+	// PatCoalesced: thread t accesses base + gtid*4 — consecutive 4-byte
+	// words, one 128B transaction per warp (the ideal GPU pattern).
+	PatCoalesced AccessPattern = iota
+	// PatStrided: thread t accesses base + gtid*Stride bytes; the number
+	// of 128B transactions grows with the stride.
+	PatStrided
+	// PatRandom: each thread touches a pseudo-random line in a Region-byte
+	// working set — up to 32 transactions per warp, poor row locality.
+	PatRandom
+	// PatTBLocal: each thread touches a pseudo-random line within a
+	// Region-byte window owned by its thread block — uncoalesced but with
+	// cache and DRAM-row locality (b+tree/BFS-like).
+	PatTBLocal
+	// PatBroadcast: all threads read the same address — one transaction.
+	PatBroadcast
+)
+
+// String names the pattern.
+func (p AccessPattern) String() string {
+	switch p {
+	case PatCoalesced:
+		return "coalesced"
+	case PatStrided:
+		return "strided"
+	case PatRandom:
+		return "random"
+	case PatTBLocal:
+		return "tblocal"
+	case PatBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// MemSpec is the static address-generation descriptor attached to global
+// and shared memory instructions.
+type MemSpec struct {
+	// Pattern selects the address generator.
+	Pattern AccessPattern
+	// Stride is the per-thread byte stride for PatStrided.
+	Stride int
+	// Region is the working-set size in bytes for PatRandom / PatTBLocal.
+	Region uint64
+	// Space tags distinct data structures so they occupy disjoint address
+	// ranges (space i starts at i<<40).
+	Space uint8
+	// IterVaries: when true, addresses change with the loop iteration
+	// (streaming); when false, the same addresses are revisited each
+	// iteration (temporal locality, e.g. shared-memory tables or stencil
+	// halos re-read per sweep).
+	IterVaries bool
+}
+
+// BranchKind enumerates the predicate models for OpBra.
+type BranchKind uint8
+
+const (
+	// BrLoop is a structured backward branch: a thread takes it while its
+	// remaining trip count for LoopID is positive (decremented on each
+	// take). Trip counts come from the program's loop table.
+	BrLoop BranchKind = iota
+	// BrLaneLess is taken by threads whose lane (thread index within the
+	// warp) is < N. Produces intra-warp divergence with a fixed split.
+	BrLaneLess
+	// BrRandom is taken by each thread independently with probability P,
+	// re-drawn per dynamic execution (varies with iteration).
+	BrRandom
+	// BrWarpRandom is taken by all threads of a warp together with
+	// probability P — warp-uniform, so it never splits the warp, but
+	// different warps take different paths (warp-level divergence in
+	// path length).
+	BrWarpRandom
+)
+
+// String names the branch kind.
+func (k BranchKind) String() string {
+	switch k {
+	case BrLoop:
+		return "loop"
+	case BrLaneLess:
+		return "lane<"
+	case BrRandom:
+		return "rand"
+	case BrWarpRandom:
+		return "wrand"
+	}
+	return fmt.Sprintf("brkind(%d)", uint8(k))
+}
+
+// BranchSpec is the static descriptor attached to OpBra instructions.
+// Target and Reconv are filled by the builder.
+//
+// Branch semantics: the spec's Kind defines a per-thread predicate. For
+// BrLoop (backward) branches, predicate-TRUE threads (those with trips
+// remaining) jump to Target and the rest fall through. For all forward
+// kinds, predicate-FALSE threads jump to Target and predicate-TRUE
+// threads fall through into the then-block — the compiled-C "branch if
+// not condition" convention.
+type BranchSpec struct {
+	Kind BranchKind
+	// N is the lane threshold for BrLaneLess.
+	N int
+	// P is the predicate-true probability for BrRandom / BrWarpRandom.
+	P float64
+	// LoopID indexes the program loop table for BrLoop.
+	LoopID int
+	// Target is the jump destination (see branch semantics above).
+	Target int
+	// Reconv is the immediate post-dominator where diverged threads
+	// re-join. For structured programs it is known by construction:
+	// the end of the if/else region, or the instruction after a loop's
+	// back-branch.
+	Reconv int
+}
+
+// Imbalance describes how loop trip counts vary across threads — the
+// paper's "warp-level divergence" knob.
+type Imbalance uint8
+
+const (
+	// ImbNone: every thread runs the same number of trips.
+	ImbNone Imbalance = iota
+	// ImbPerTB: trips vary per thread block (uniform within a TB) —
+	// causes TB-level runtime variation without breaking barriers.
+	ImbPerTB
+	// ImbPerWarp: trips vary per warp (uniform within a warp) — causes
+	// warp-level divergence: warps of a TB finish/reach barriers at
+	// different times.
+	ImbPerWarp
+	// ImbPerThread: trips vary per thread — causes intra-warp divergence
+	// (the warp keeps looping until its slowest thread is done).
+	ImbPerThread
+)
+
+// String names the imbalance model.
+func (im Imbalance) String() string {
+	switch im {
+	case ImbNone:
+		return "none"
+	case ImbPerTB:
+		return "per-tb"
+	case ImbPerWarp:
+		return "per-warp"
+	case ImbPerThread:
+		return "per-thread"
+	}
+	return fmt.Sprintf("imbalance(%d)", uint8(im))
+}
+
+// LoopSpec declares one structured loop. The dynamic trip count of each
+// thread is drawn uniformly from [Min, Max] according to Imb. Loops are
+// do-while shaped: the body always executes at least once, so Min must be
+// at least 1.
+type LoopSpec struct {
+	Min, Max int
+	Imb      Imbalance
+}
+
+// Valid reports whether the loop bounds are sane.
+func (l LoopSpec) Valid() bool { return l.Min >= 1 && l.Max >= l.Min }

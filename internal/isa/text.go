@@ -1,0 +1,498 @@
+package isa
+
+// This file implements a human-writable text format for kernels, so
+// workloads can be modeled without writing Go. The format mirrors the
+// structured builder one-to-one:
+//
+//	kernel tiledMatMul
+//	# stage tiles, multiply, write back
+//	ld.global r1 pattern=coalesced space=0 itervaries
+//	st.shared r1 pattern=coalesced
+//	bar
+//	loop min=12 max=12 imb=none {
+//	    ld.shared r3 pattern=coalesced itervaries
+//	    ffma r5 r3 r4 r5
+//	}
+//	if lane<16 {
+//	    iadd r2 r2 r1
+//	} else {
+//	    imul r2 r2 r1
+//	}
+//	if rand=0.25 {
+//	    sfu r6 r5
+//	}
+//	st.global r5 pattern=coalesced space=1
+//	exit
+//
+// Parse builds a validated Program; Format reconstructs the structured
+// text from a Program (loops and if/else regions are recovered from
+// branch targets), and Parse(Format(p)) reproduces p exactly — a
+// property the tests rely on.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the text format and returns a validated Program.
+func Parse(text string) (*Program, error) {
+	var b *Builder
+	type openRegion struct{ isLoop bool }
+	var regions []openRegion
+
+	lines := strings.Split(text, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("isa: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		if b == nil {
+			if fields[0] != "kernel" || len(fields) != 2 {
+				return nil, errf("file must start with 'kernel <name>'")
+			}
+			b = NewBuilder(fields[1])
+			continue
+		}
+		switch fields[0] {
+		case "kernel":
+			return nil, errf("duplicate kernel directive")
+		case "nop":
+			b.Nop()
+		case "iadd", "imul", "fadd", "fmul":
+			rs, err := regs(fields[1:], 3)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			switch fields[0] {
+			case "iadd":
+				b.IAdd(rs[0], rs[1], rs[2])
+			case "imul":
+				b.IMul(rs[0], rs[1], rs[2])
+			case "fadd":
+				b.FAdd(rs[0], rs[1], rs[2])
+			case "fmul":
+				b.FMul(rs[0], rs[1], rs[2])
+			}
+		case "ffma":
+			rs, err := regs(fields[1:], 4)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			b.FFMA(rs[0], rs[1], rs[2], rs[3])
+		case "sfu":
+			rs, err := regs(fields[1:], 2)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			b.SFU(rs[0], rs[1])
+		case "ld.const":
+			rs, err := regs(fields[1:], 1)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			b.LdConst(rs[0])
+		case "ld.global", "st.global", "ld.shared", "st.shared", "atom.global":
+			nregs := 1
+			if fields[0] == "atom.global" {
+				nregs = 2
+			}
+			if len(fields) < 1+nregs {
+				return nil, errf("%s needs %d register(s)", fields[0], nregs)
+			}
+			rs, err := regs(fields[1:1+nregs], nregs)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			spec, err := parseMemSpec(fields[1+nregs:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			switch fields[0] {
+			case "ld.global":
+				b.LdGlobal(rs[0], spec)
+			case "st.global":
+				b.StGlobal(rs[0], spec)
+			case "ld.shared":
+				b.LdShared(rs[0], spec)
+			case "st.shared":
+				b.StShared(rs[0], spec)
+			case "atom.global":
+				b.AtomGlobal(rs[0], rs[1], spec)
+			}
+		case "bar":
+			b.Bar()
+		case "loop":
+			if fields[len(fields)-1] != "{" {
+				return nil, errf("loop must end with '{'")
+			}
+			spec, err := parseLoopSpec(fields[1 : len(fields)-1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			b.Loop(spec)
+			regions = append(regions, openRegion{isLoop: true})
+		case "if":
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, errf("if syntax: 'if <cond> {'")
+			}
+			cond := fields[1]
+			switch {
+			case strings.HasPrefix(cond, "lane<"):
+				n, err := strconv.Atoi(cond[len("lane<"):])
+				if err != nil {
+					return nil, errf("bad lane threshold %q", cond)
+				}
+				b.IfLaneLess(n)
+			case strings.HasPrefix(cond, "rand="):
+				p, err := strconv.ParseFloat(cond[len("rand="):], 64)
+				if err != nil {
+					return nil, errf("bad probability %q", cond)
+				}
+				b.IfRandom(p)
+			case strings.HasPrefix(cond, "wrand="):
+				p, err := strconv.ParseFloat(cond[len("wrand="):], 64)
+				if err != nil {
+					return nil, errf("bad probability %q", cond)
+				}
+				b.IfWarpRandom(p)
+			default:
+				return nil, errf("unknown condition %q", cond)
+			}
+			regions = append(regions, openRegion{})
+		case "}":
+			if len(regions) == 0 {
+				return nil, errf("unmatched '}'")
+			}
+			if len(fields) == 1 {
+				r := regions[len(regions)-1]
+				regions = regions[:len(regions)-1]
+				if r.isLoop {
+					b.EndLoop()
+				} else {
+					b.EndIf()
+				}
+				continue
+			}
+			if len(fields) == 3 && fields[1] == "else" && fields[2] == "{" {
+				if regions[len(regions)-1].isLoop {
+					return nil, errf("else on a loop")
+				}
+				b.Else()
+				continue
+			}
+			return nil, errf("bad region close %q", line)
+		case "exit":
+			b.Exit()
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("isa: empty program text")
+	}
+	if len(regions) != 0 {
+		return nil, fmt.Errorf("isa: %d unclosed regions at end of file", len(regions))
+	}
+	return b.Build()
+}
+
+func regs(fields []string, n int) ([]Reg, error) {
+	if len(fields) < n {
+		return nil, fmt.Errorf("expected %d registers", n)
+	}
+	out := make([]Reg, n)
+	for i := 0; i < n; i++ {
+		f := fields[i]
+		if len(f) < 2 || f[0] != 'r' {
+			return nil, fmt.Errorf("bad register %q", f)
+		}
+		v, err := strconv.Atoi(f[1:])
+		if err != nil || v < 0 || v > int(MaxReg) {
+			return nil, fmt.Errorf("bad register %q", f)
+		}
+		out[i] = Reg(v)
+	}
+	return out, nil
+}
+
+func parseMemSpec(attrs []string) (MemSpec, error) {
+	var m MemSpec
+	seenPattern := false
+	for _, a := range attrs {
+		switch {
+		case strings.HasPrefix(a, "pattern="):
+			seenPattern = true
+			switch a[len("pattern="):] {
+			case "coalesced":
+				m.Pattern = PatCoalesced
+			case "strided":
+				m.Pattern = PatStrided
+			case "random":
+				m.Pattern = PatRandom
+			case "tblocal":
+				m.Pattern = PatTBLocal
+			case "broadcast":
+				m.Pattern = PatBroadcast
+			default:
+				return m, fmt.Errorf("unknown pattern %q", a)
+			}
+		case strings.HasPrefix(a, "stride="):
+			v, err := strconv.Atoi(a[len("stride="):])
+			if err != nil {
+				return m, fmt.Errorf("bad stride %q", a)
+			}
+			m.Stride = v
+		case strings.HasPrefix(a, "region="):
+			v, err := strconv.ParseUint(a[len("region="):], 10, 64)
+			if err != nil {
+				return m, fmt.Errorf("bad region %q", a)
+			}
+			m.Region = v
+		case strings.HasPrefix(a, "space="):
+			v, err := strconv.Atoi(a[len("space="):])
+			if err != nil || v < 0 || v > 255 {
+				return m, fmt.Errorf("bad space %q", a)
+			}
+			m.Space = uint8(v)
+		case a == "itervaries":
+			m.IterVaries = true
+		default:
+			return m, fmt.Errorf("unknown memory attribute %q", a)
+		}
+	}
+	if !seenPattern {
+		return m, fmt.Errorf("memory instruction needs pattern=")
+	}
+	return m, nil
+}
+
+func parseLoopSpec(attrs []string) (LoopSpec, error) {
+	spec := LoopSpec{Min: -1, Max: -1}
+	for _, a := range attrs {
+		switch {
+		case strings.HasPrefix(a, "min="):
+			v, err := strconv.Atoi(a[len("min="):])
+			if err != nil {
+				return spec, fmt.Errorf("bad min %q", a)
+			}
+			spec.Min = v
+		case strings.HasPrefix(a, "max="):
+			v, err := strconv.Atoi(a[len("max="):])
+			if err != nil {
+				return spec, fmt.Errorf("bad max %q", a)
+			}
+			spec.Max = v
+		case strings.HasPrefix(a, "imb="):
+			switch a[len("imb="):] {
+			case "none":
+				spec.Imb = ImbNone
+			case "tb":
+				spec.Imb = ImbPerTB
+			case "warp":
+				spec.Imb = ImbPerWarp
+			case "thread":
+				spec.Imb = ImbPerThread
+			default:
+				return spec, fmt.Errorf("unknown imbalance %q", a)
+			}
+		default:
+			return spec, fmt.Errorf("unknown loop attribute %q", a)
+		}
+	}
+	if spec.Min < 0 || spec.Max < 0 {
+		return spec, fmt.Errorf("loop needs min= and max=")
+	}
+	return spec, nil
+}
+
+// Format renders a Program in the text format, reconstructing loops and
+// if/else regions from branch targets. It assumes builder-shaped
+// programs (which Validate enforces).
+func Format(p *Program) string {
+	type open struct {
+		text   string
+		end    int // pc at which the region closes
+		isLoop bool
+	}
+	// Region opens keyed by start pc; loops may share a start (nested
+	// loops with empty prefix), outer (larger end) first.
+	opens := map[int][]open{}
+	skips := map[int]bool{}   // else-skip branch positions
+	elses := map[int]bool{}   // positions where "} else {" replaces the skip
+	loopEnd := map[int]bool{} // loop back-branch positions
+
+	for pc, in := range p.Code {
+		if in.Op != OpBra {
+			continue
+		}
+		br := in.Branch
+		if br.Kind == BrLoop {
+			spec := p.Loops[br.LoopID]
+			opens[br.Target] = append(opens[br.Target], open{
+				text:   fmt.Sprintf("loop min=%d max=%d imb=%s {", spec.Min, spec.Max, imbName(spec.Imb)),
+				end:    pc,
+				isLoop: true,
+			})
+			loopEnd[pc] = true
+			continue
+		}
+		if skips[pc] {
+			continue // already classified as an else-skip
+		}
+		var cond string
+		switch br.Kind {
+		case BrLaneLess:
+			cond = fmt.Sprintf("lane<%d", br.N)
+		case BrRandom:
+			cond = fmt.Sprintf("rand=%s", trimFloat(br.P))
+		case BrWarpRandom:
+			cond = fmt.Sprintf("wrand=%s", trimFloat(br.P))
+		}
+		// Else detection: instruction just before Target is an
+		// unconditional skip (BrWarpRandom P=0) jumping to Reconv.
+		if t := br.Target - 1; t > pc {
+			if sk := p.Code[t]; sk.Op == OpBra && sk.Branch.Kind == BrWarpRandom &&
+				sk.Branch.P == 0 && sk.Branch.Target == br.Reconv && br.Target != br.Reconv {
+				skips[t] = true
+				elses[t] = true
+			}
+		}
+		opens[pc] = append(opens[pc], open{text: fmt.Sprintf("if %s {", cond), end: br.Reconv})
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s\n", p.Name)
+	indent := 0
+	emit := func(s string) {
+		sb.WriteString(strings.Repeat("    ", indent))
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	// Track open loop regions to close them at their back-branch.
+	type region struct {
+		isLoop bool
+		end    int
+	}
+	var stack []region
+
+	for pc, in := range p.Code {
+		// Close if-regions that reconverge here (innermost first).
+		for len(stack) > 0 && !stack[len(stack)-1].isLoop && stack[len(stack)-1].end == pc {
+			stack = stack[:len(stack)-1]
+			indent--
+			emit("}")
+		}
+		// Opens at this pc, outermost first: loops enclose ifs at the
+		// same position (a loop starting at pc contains the instruction
+		// at pc, while an if at pc IS that instruction), then larger
+		// ends first.
+		if os := opens[pc]; len(os) > 0 {
+			sort.SliceStable(os, func(i, j int) bool {
+				if os[i].isLoop != os[j].isLoop {
+					return os[i].isLoop
+				}
+				return os[i].end > os[j].end
+			})
+			for _, o := range os {
+				emit(o.text)
+				indent++
+				stack = append(stack, region{isLoop: o.isLoop, end: o.end})
+			}
+		}
+		switch {
+		case elses[pc]:
+			indent--
+			emit("} else {")
+			indent++
+		case loopEnd[pc]:
+			// The loop's back-branch: close the region.
+			for len(stack) > 0 && !stack[len(stack)-1].isLoop && stack[len(stack)-1].end <= pc {
+				stack = stack[:len(stack)-1]
+				indent--
+				emit("}")
+			}
+			stack = stack[:len(stack)-1]
+			indent--
+			emit("}")
+		case in.Op == OpBra:
+			// The if-branch itself was emitted as a region open.
+		default:
+			emit(formatInstr(&in))
+		}
+	}
+	return sb.String()
+}
+
+func formatInstr(in *Instr) string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpIAdd, OpIMul, OpFAdd, OpFMul:
+		return fmt.Sprintf("%s r%d r%d r%d", in.Op, in.Dst, in.Srcs[0], in.Srcs[1])
+	case OpFFMA:
+		return fmt.Sprintf("ffma r%d r%d r%d r%d", in.Dst, in.Srcs[0], in.Srcs[1], in.Srcs[2])
+	case OpSFU:
+		return fmt.Sprintf("sfu r%d r%d", in.Dst, in.Srcs[0])
+	case OpLdConst:
+		return fmt.Sprintf("ld.const r%d", in.Dst)
+	case OpLdGlobal:
+		return "ld.global r" + strconv.Itoa(int(in.Dst)) + formatMem(in.Mem)
+	case OpLdShared:
+		return "ld.shared r" + strconv.Itoa(int(in.Dst)) + formatMem(in.Mem)
+	case OpStGlobal:
+		return "st.global r" + strconv.Itoa(int(in.Srcs[0])) + formatMem(in.Mem)
+	case OpStShared:
+		return "st.shared r" + strconv.Itoa(int(in.Srcs[0])) + formatMem(in.Mem)
+	case OpAtomGlobal:
+		return fmt.Sprintf("atom.global r%d r%d%s", in.Dst, in.Srcs[0], formatMem(in.Mem))
+	case OpBar:
+		return "bar"
+	case OpExit:
+		return "exit"
+	}
+	return fmt.Sprintf("# unknown op %d", in.Op)
+}
+
+func formatMem(m *MemSpec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, " pattern=%s", m.Pattern)
+	if m.Stride != 0 {
+		fmt.Fprintf(&sb, " stride=%d", m.Stride)
+	}
+	if m.Region != 0 {
+		fmt.Fprintf(&sb, " region=%d", m.Region)
+	}
+	if m.Space != 0 {
+		fmt.Fprintf(&sb, " space=%d", m.Space)
+	}
+	if m.IterVaries {
+		sb.WriteString(" itervaries")
+	}
+	return sb.String()
+}
+
+func imbName(im Imbalance) string {
+	switch im {
+	case ImbPerTB:
+		return "tb"
+	case ImbPerWarp:
+		return "warp"
+	case ImbPerThread:
+		return "thread"
+	}
+	return "none"
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,254 @@
+// Package memsys composes the global-memory hierarchy: per-SM L1 data
+// caches with MSHRs, an SM↔L2 interconnect, address-interleaved L2
+// partitions with their own MSHRs, and one FR-FCFS DRAM channel per
+// partition.
+//
+// The SM core talks to this package through three line-granular entry
+// points — LoadLine, StoreLine, AtomicLine. The SM's LD/ST unit issues
+// the coalesced transactions of one warp memory instruction at one line
+// per cycle (so an uncoalesced 32-transaction access occupies the unit
+// for 32 cycles, as on real hardware); when a line cannot be tracked
+// (MSHRs full, store buffer full) the call returns false with no side
+// effects and the unit retries it the next cycle — the back-pressure that
+// produces pipeline stalls under memory-intensive phases.
+package memsys
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/icnt"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// readReqBytes is the size of a read-request control packet.
+const readReqBytes = 8
+
+// retryDelay is the back-off before re-offering a request refused by a
+// full downstream queue.
+const retryDelay = 8
+
+// System is the global-memory hierarchy for one GPU.
+type System struct {
+	cfg    *config.Config
+	wheel  *timing.Wheel
+	net    *icnt.Network
+	l1     []*cache.Cache
+	l1mshr []*cache.MSHR
+	l2     []*cache.Cache
+	l2mshr []*cache.MSHR
+	chans  []*dram.Channel
+
+	storesOut []int // per-SM outstanding global stores
+}
+
+// New builds the hierarchy described by cfg, scheduling all latencies on
+// wheel. cfg must already be validated.
+func New(cfg *config.Config, wheel *timing.Wheel) *System {
+	s := &System{
+		cfg:       cfg,
+		wheel:     wheel,
+		net:       icnt.New(wheel, cfg.NumSMs, cfg.L2Partitions, int64(cfg.IcntLatency), cfg.IcntBytesPerCycle),
+		l1:        make([]*cache.Cache, cfg.NumSMs),
+		l1mshr:    make([]*cache.MSHR, cfg.NumSMs),
+		l2:        make([]*cache.Cache, cfg.L2Partitions),
+		l2mshr:    make([]*cache.MSHR, cfg.L2Partitions),
+		chans:     make([]*dram.Channel, cfg.L2Partitions),
+		storesOut: make([]int, cfg.NumSMs),
+	}
+	for i := range s.l1 {
+		s.l1[i] = cache.MustNew(cfg.L1Size, cfg.L1Assoc, cfg.L1Line)
+		s.l1mshr[i] = cache.NewMSHR(cfg.L1MSHRs, cfg.L1Merges)
+	}
+	partSize := cfg.L2Size / cfg.L2Partitions
+	for p := range s.l2 {
+		s.l2[p] = cache.MustNew(partSize, cfg.L2Assoc, cfg.L1Line)
+		// L2 MSHRs: give each partition the same tracking capacity as one
+		// SM's L1, with generous merging (requests from all 14 SMs can
+		// collapse onto hot lines).
+		s.l2mshr[p] = cache.NewMSHR(cfg.L1MSHRs, cfg.NumSMs*cfg.L1Merges)
+		s.chans[p] = dram.NewChannel(cfg.DRAMBanksPerChannel, uint64(cfg.DRAMRowBytes),
+			int64(cfg.DRAMRowHit), int64(cfg.DRAMRowMiss), cfg.DRAMQueueDepth)
+	}
+	return s
+}
+
+// partition maps a line address to its L2 partition (line interleaving).
+func (s *System) partition(line uint64) int {
+	return int((line / uint64(s.cfg.L1Line)) % uint64(s.cfg.L2Partitions))
+}
+
+// Tick performs one DRAM arbitration step per channel. Call once per core
+// cycle after the timing wheel has advanced to that cycle.
+func (s *System) Tick(cycle int64) {
+	for _, ch := range s.chans {
+		if r, doneAt := ch.Tick(cycle); r != nil && r.Done != nil {
+			s.wheel.Schedule(doneAt, r.Done)
+		}
+	}
+}
+
+// LoadLine issues one load transaction from SM sm for the line-aligned
+// address line. It returns false without side effects when the L1 MSHRs
+// cannot track the miss this cycle; when accepted, done fires once, at
+// the cycle the line's data is available in the SM.
+func (s *System) LoadLine(sm int, line uint64, done func(cycle int64)) bool {
+	if s.l1[sm].Access(line) {
+		s.wheel.ScheduleAfter(int64(s.cfg.L1HitLatency), done)
+		return true
+	}
+	switch s.l1mshr[sm].Add(line, done) {
+	case cache.Allocated:
+		s.sendRead(sm, line, true)
+		return true
+	case cache.Merged:
+		// The in-flight fill will wake us; no downstream traffic.
+		return true
+	default: // Refused: MSHRs full, retry later.
+		// Undo the miss that Access counted? No: real hardware also
+		// re-probes on replay; counting each attempt would inflate the
+		// miss rate, so compensate here.
+		s.l1[sm].Accesses--
+		s.l1[sm].Misses--
+		return false
+	}
+}
+
+// AtomicLine issues one global-atomic transaction. Atomics bypass the L1
+// (no lookup, no fill) and are resolved at the L2 partition; timing-wise
+// the line behaves like an L1 miss whose response does not allocate in
+// L1. Tracking shares the L1 MSHR file, bounding outstanding requests.
+func (s *System) AtomicLine(sm int, line uint64, done func(cycle int64)) bool {
+	switch s.l1mshr[sm].Add(line, done) {
+	case cache.Allocated:
+		s.sendRead(sm, line, false)
+		return true
+	case cache.Merged:
+		return true
+	default:
+		return false
+	}
+}
+
+// StoreLine issues one store transaction. Stores are write-through
+// no-allocate with write-evict at L1 (GPGPU-Sim's Fermi global-store
+// policy): the L1 copy is invalidated and a line-sized data packet
+// contends for interconnect bandwidth. The warp does not wait, but the
+// per-SM store buffer bounds outstanding store lines; a full buffer
+// refuses the transaction (replay → pipeline stall).
+func (s *System) StoreLine(sm int, line uint64) bool {
+	if s.storesOut[sm] >= s.cfg.StoreBufferPerSM {
+		return false
+	}
+	s.storesOut[sm]++
+	s.l1[sm].Invalidate(line)
+	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, func(int64) {
+		s.l2Write(sm, line)
+	})
+	return true
+}
+
+// sendRead injects a read-request packet; fillL1 marks whether the
+// response should allocate in the SM's L1.
+func (s *System) sendRead(sm int, line uint64, fillL1 bool) {
+	s.net.Send(s.net.SMPort(sm), readReqBytes, func(int64) {
+		s.l2Read(sm, line, fillL1)
+	})
+}
+
+// l2Read handles a read request arriving at line's partition.
+func (s *System) l2Read(sm int, line uint64, fillL1 bool) {
+	p := s.partition(line)
+	respond := func(int64) {
+		s.net.Send(s.net.PartPort(s.cfg.NumSMs, p), s.cfg.L1Line, func(cy int64) {
+			if fillL1 {
+				s.l1[sm].Fill(line)
+			}
+			s.l1mshr[sm].Fill(line, cy)
+		})
+	}
+	if s.l2[p].Access(line) {
+		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), respond)
+		return
+	}
+	switch s.l2mshr[p].Add(line, respond) {
+	case cache.Allocated:
+		s.dramEnqueue(p, &dram.Request{Line: line, Done: func(cy int64) {
+			s.l2[p].Fill(line)
+			s.l2mshr[p].Fill(line, cy)
+		}})
+	case cache.Merged:
+	case cache.Refused:
+		// L2 MSHRs full: retry the whole L2 access later. The L1-side MSHR
+		// entry stays allocated meanwhile, so the SM sees a longer miss.
+		s.wheel.ScheduleAfter(retryDelay, func(int64) { s.l2Read(sm, line, fillL1) })
+	}
+}
+
+// l2Write handles a store arriving at line's partition: L2 write hit
+// updates in place; a miss forwards to DRAM without allocating.
+func (s *System) l2Write(sm int, line uint64) {
+	p := s.partition(line)
+	release := func(int64) { s.storesOut[sm]-- }
+	if s.l2[p].Access(line) {
+		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), release)
+		return
+	}
+	s.dramEnqueue(p, &dram.Request{Line: line, Write: true, Done: release})
+}
+
+// dramEnqueue offers a request to line's channel, retrying on a full
+// queue.
+func (s *System) dramEnqueue(p int, r *dram.Request) {
+	if !s.chans[p].Enqueue(r) {
+		s.wheel.ScheduleAfter(retryDelay, func(int64) { s.dramEnqueue(p, r) })
+	}
+}
+
+// OutstandingStores returns SM sm's store-buffer occupancy (for tests).
+func (s *System) OutstandingStores(sm int) int { return s.storesOut[sm] }
+
+// Stats sums the hierarchy's counters.
+func (s *System) Stats() stats.MemStats {
+	var m stats.MemStats
+	for _, c := range s.l1 {
+		m.L1Accesses += c.Accesses
+		m.L1Misses += c.Misses
+	}
+	for _, c := range s.l2 {
+		m.L2Accesses += c.Accesses
+		m.L2Misses += c.Misses
+	}
+	for _, ch := range s.chans {
+		m.DRAMReqs += ch.Reqs
+		m.DRAMRowHits += ch.RowHits
+	}
+	return m
+}
+
+// Drained reports whether no memory activity remains (for watchdogs; the
+// timing wheel's pending count covers in-flight latencies).
+func (s *System) Drained(cycle int64) bool {
+	for _, ch := range s.chans {
+		if ch.Busy(cycle) {
+			return false
+		}
+	}
+	for _, m := range s.l1mshr {
+		if m.InFlight() > 0 {
+			return false
+		}
+	}
+	for _, m := range s.l2mshr {
+		if m.InFlight() > 0 {
+			return false
+		}
+	}
+	for _, n := range s.storesOut {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}

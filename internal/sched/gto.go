@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+)
+
+// GTO is Greedy-Then-Oldest: each scheduler slot keeps issuing from the
+// same warp until it stalls, then falls back to the oldest warp (by TB
+// assignment time, then warp slot). The greedy warp races ahead, which
+// spreads progress unevenly and hides long latencies — the strongest of
+// the paper's three baselines.
+type GTO struct {
+	engine.BasePolicy
+	sm     *engine.SM
+	greedy []*engine.Warp   // per slot
+	aged   [][]*engine.Warp // per slot, oldest first
+}
+
+// NewGTO is an engine.Factory.
+func NewGTO(sm *engine.SM) engine.Scheduler {
+	return &GTO{
+		sm:     sm,
+		greedy: make([]*engine.Warp, sm.Cfg.SchedulersPerSM),
+		aged:   make([][]*engine.Warp, sm.Cfg.SchedulersPerSM),
+	}
+}
+
+// Name implements engine.Scheduler.
+func (s *GTO) Name() string { return "GTO" }
+
+// Order implements engine.Scheduler: greedy warp first, then all warps
+// oldest-first.
+func (s *GTO) Order(slot int, dst []*engine.Warp, _ int64) []*engine.Warp {
+	if g := s.greedy[slot]; g != nil && !g.Finished() {
+		dst = append(dst, g)
+	}
+	for _, w := range s.aged[slot] {
+		if w != s.greedy[slot] {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+// OnIssue implements engine.Scheduler: the issuing warp becomes greedy.
+func (s *GTO) OnIssue(w *engine.Warp, _ *isa.Instr, _ int, _ int64) {
+	s.greedy[w.SchedSlot] = w
+}
+
+// OnTBAssign implements engine.Scheduler: new warps join their slot's age
+// list (they are the youngest; a stable sort keeps earlier TBs first).
+func (s *GTO) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
+	for _, w := range tb.Warps {
+		s.aged[w.SchedSlot] = append(s.aged[w.SchedSlot], w)
+	}
+	for slot := range s.aged {
+		list := s.aged[slot]
+		sort.SliceStable(list, func(i, j int) bool {
+			if list[i].SpawnCycle != list[j].SpawnCycle {
+				return list[i].SpawnCycle < list[j].SpawnCycle
+			}
+			return list[i].Slot < list[j].Slot
+		})
+	}
+}
+
+// OnTBRetire implements engine.Scheduler: drop the TB's warps.
+func (s *GTO) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
+	for slot := range s.aged {
+		kept := s.aged[slot][:0]
+		for _, w := range s.aged[slot] {
+			if w.TB != tb {
+				kept = append(kept, w)
+			}
+		}
+		s.aged[slot] = kept
+		if g := s.greedy[slot]; g != nil && g.TB == tb {
+			s.greedy[slot] = nil
+		}
+	}
+}

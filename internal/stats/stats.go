@@ -1,0 +1,254 @@
+// Package stats defines the counters the simulator produces and the
+// aggregation helpers the experiment harness consumes.
+//
+// The stall taxonomy follows GPGPU-Sim as described in the paper
+// (Sec. II-B): in a scheduler-cycle where no warp issues,
+//   - Idle:       no warp has a valid instruction ready to consider
+//     (warps finished, waiting at a barrier, or with an empty
+//     instruction buffer);
+//   - Scoreboard: at least one warp has a valid instruction but none has
+//     all operands ready;
+//   - Pipeline:   some warp has a valid instruction with ready operands
+//     but every required execution pipeline is full.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StallBreakdown counts scheduler-cycles by outcome. Each warp scheduler
+// contributes one count per cycle, so Issued+Idle+Scoreboard+Pipeline ==
+// cycles × schedulers.
+type StallBreakdown struct {
+	Issued     int64
+	Idle       int64
+	Scoreboard int64
+	Pipeline   int64
+}
+
+// Total returns the total stall cycles (everything but issued).
+func (s StallBreakdown) Total() int64 { return s.Idle + s.Scoreboard + s.Pipeline }
+
+// Slots returns all accounted scheduler-cycles.
+func (s StallBreakdown) Slots() int64 { return s.Issued + s.Total() }
+
+// Add accumulates o into s.
+func (s *StallBreakdown) Add(o StallBreakdown) {
+	s.Issued += o.Issued
+	s.Idle += o.Idle
+	s.Scoreboard += o.Scoreboard
+	s.Pipeline += o.Pipeline
+}
+
+// MemStats counts memory-system events.
+type MemStats struct {
+	L1Accesses  int64
+	L1Misses    int64
+	L2Accesses  int64
+	L2Misses    int64
+	DRAMReqs    int64
+	DRAMRowHits int64
+}
+
+// Add accumulates o into m.
+func (m *MemStats) Add(o MemStats) {
+	m.L1Accesses += o.L1Accesses
+	m.L1Misses += o.L1Misses
+	m.L2Accesses += o.L2Accesses
+	m.L2Misses += o.L2Misses
+	m.DRAMReqs += o.DRAMReqs
+	m.DRAMRowHits += o.DRAMRowHits
+}
+
+// L1MissRate returns the L1 miss ratio, or 0 with no accesses.
+func (m MemStats) L1MissRate() float64 {
+	if m.L1Accesses == 0 {
+		return 0
+	}
+	return float64(m.L1Misses) / float64(m.L1Accesses)
+}
+
+// L2MissRate returns the L2 miss ratio, or 0 with no accesses.
+func (m MemStats) L2MissRate() float64 {
+	if m.L2Accesses == 0 {
+		return 0
+	}
+	return float64(m.L2Misses) / float64(m.L2Accesses)
+}
+
+// TBSpan records the lifetime of one thread block on one SM — the raw
+// material of the paper's Figure 2.
+type TBSpan struct {
+	TB    int   // global thread-block index
+	SM    int   // SM it ran on
+	Slot  int   // how-many-th TB launched on that SM (0-based)
+	Start int64 // cycle the TB was assigned
+	End   int64 // cycle the TB retired
+}
+
+// Sample is one point of a sampled time series over a simulation: the
+// deltas of the core counters across one sampling window. Useful for
+// phase analysis (compute vs memory phases, batch boundaries, barrier
+// convoys).
+type Sample struct {
+	// Cycle is the window's end cycle.
+	Cycle int64
+	// WarpInstrs is the number of warp-instructions issued in the window.
+	WarpInstrs int64
+	// Stalls is the window's scheduler-slot breakdown.
+	Stalls StallBreakdown
+	// ResidentTBs is the number of TBs resident across all SMs at the
+	// sample point.
+	ResidentTBs int
+	// PendingTBs is the number of TBs still waiting in the Thread Block
+	// Scheduler (fastTBPhase has PendingTBs > 0).
+	PendingTBs int
+}
+
+// IPC returns the window's warp-instructions per cycle, given the window
+// length.
+func (s Sample) IPC(window int64) float64 {
+	if window == 0 {
+		return 0
+	}
+	return float64(s.WarpInstrs) / float64(window)
+}
+
+// OrderSample is one row of a Table IV-style trace: the priority-sorted
+// TB order on an SM at a sample cycle (highest priority first; global TB
+// indices).
+type OrderSample struct {
+	Cycle int64
+	Order []int
+}
+
+// KernelResult is everything one simulated kernel launch produces.
+type KernelResult struct {
+	Kernel    string
+	Scheduler string
+	// Cycles is the kernel runtime in core cycles (the paper's figure of
+	// merit).
+	Cycles int64
+	// WarpInstrs is the number of warp-instructions issued.
+	WarpInstrs int64
+	// ThreadInstrs is the number of thread-instructions executed (warp
+	// issues weighted by active lanes) — the quantity PRO calls progress.
+	ThreadInstrs int64
+	// TBCount is the number of thread blocks executed.
+	TBCount int
+	Stalls  StallBreakdown
+	Mem     MemStats
+	// Timeline holds per-TB lifetimes (Fig. 2); populated when requested.
+	Timeline []TBSpan
+	// OrderTrace holds Table IV samples for SM 0; populated when the PRO
+	// scheduler runs with order tracing enabled.
+	OrderTrace []OrderSample
+	// WarpDisparitySum accumulates, over all retired TBs, the spread of
+	// warp finish cycles within the TB — total warp-level divergence.
+	WarpDisparitySum int64
+	// BarrierWaitSum accumulates, over all barrier episodes, the cycles
+	// between the first warp arriving and the barrier releasing.
+	BarrierWaitSum int64
+	// BarrierEpisodes counts completed barrier episodes.
+	BarrierEpisodes int64
+	// Samples is the sampled time series (when Options.SampleEvery > 0).
+	Samples []Sample
+}
+
+// AvgWarpDisparity returns the mean per-TB warp finish spread.
+func (r *KernelResult) AvgWarpDisparity() float64 {
+	if r.TBCount == 0 {
+		return 0
+	}
+	return float64(r.WarpDisparitySum) / float64(r.TBCount)
+}
+
+// AvgBarrierWait returns the mean first-arrival-to-release barrier wait.
+func (r *KernelResult) AvgBarrierWait() float64 {
+	if r.BarrierEpisodes == 0 {
+		return 0
+	}
+	return float64(r.BarrierWaitSum) / float64(r.BarrierEpisodes)
+}
+
+// IPC returns warp-instructions per cycle.
+func (r *KernelResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.WarpInstrs) / float64(r.Cycles)
+}
+
+// Speedup returns base.Cycles / r.Cycles — how much faster r is than base.
+func (r *KernelResult) Speedup(base *KernelResult) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// AppResult aggregates the kernels of one application (Table III is per
+// application, not per kernel): stalls and memory counters sum, cycles sum.
+type AppResult struct {
+	App       string
+	Scheduler string
+	Cycles    int64
+	Stalls    StallBreakdown
+	Mem       MemStats
+	Kernels   int
+}
+
+// Accumulate folds one kernel run into the application aggregate.
+func (a *AppResult) Accumulate(r *KernelResult) {
+	a.Cycles += r.Cycles
+	a.Stalls.Add(r.Stalls)
+	a.Mem.Add(r.Mem)
+	a.Kernels++
+}
+
+// Geomean returns the geometric mean of xs; 0 when xs is empty or any
+// element is non-positive.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Ratio returns a/b, or 0 when b is 0. Used for stall-improvement tables
+// where the paper reports baseline/PRO.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// SortSpansByStart orders TB spans by (SM, Start, TB) for stable reports.
+func SortSpansByStart(spans []TBSpan) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.SM != b.SM {
+			return a.SM < b.SM
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.TB < b.TB
+	})
+}
+
+// FormatPct renders x as a percentage with one decimal.
+func FormatPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStallBreakdownArithmetic(t *testing.T) {
+	b := StallBreakdown{Issued: 10, Idle: 5, Scoreboard: 3, Pipeline: 2}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", b.Total())
+	}
+	if b.Slots() != 20 {
+		t.Fatalf("Slots = %d, want 20", b.Slots())
+	}
+	var sum StallBreakdown
+	sum.Add(b)
+	sum.Add(b)
+	if sum.Issued != 20 || sum.Total() != 20 {
+		t.Fatalf("Add broken: %+v", sum)
+	}
+}
+
+func TestMemStatsRates(t *testing.T) {
+	m := MemStats{L1Accesses: 100, L1Misses: 25, L2Accesses: 25, L2Misses: 5}
+	if m.L1MissRate() != 0.25 {
+		t.Fatalf("L1MissRate = %v", m.L1MissRate())
+	}
+	if m.L2MissRate() != 0.2 {
+		t.Fatalf("L2MissRate = %v", m.L2MissRate())
+	}
+	var zero MemStats
+	if zero.L1MissRate() != 0 || zero.L2MissRate() != 0 {
+		t.Fatal("zero-access rates must be 0")
+	}
+}
+
+func TestKernelResultDerived(t *testing.T) {
+	r := &KernelResult{Cycles: 1000, WarpInstrs: 2500}
+	if r.IPC() != 2.5 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+	base := &KernelResult{Cycles: 1200}
+	if got := r.Speedup(base); got != 1.2 {
+		t.Fatalf("Speedup = %v, want 1.2", got)
+	}
+	var zero KernelResult
+	if zero.IPC() != 0 || zero.Speedup(base) != 0 {
+		t.Fatal("zero-cycle results must not divide by zero")
+	}
+}
+
+func TestAppResultAccumulate(t *testing.T) {
+	var a AppResult
+	a.Accumulate(&KernelResult{Cycles: 100, Stalls: StallBreakdown{Idle: 5}})
+	a.Accumulate(&KernelResult{Cycles: 200, Stalls: StallBreakdown{Idle: 7, Pipeline: 1}})
+	if a.Cycles != 300 || a.Stalls.Idle != 12 || a.Stalls.Pipeline != 1 || a.Kernels != 2 {
+		t.Fatalf("Accumulate: %+v", a)
+	}
+}
+
+func TestGeomeanKnownValues(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("Geomean(ones) = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil) must be 0")
+	}
+	if Geomean([]float64{1, -2}) != 0 {
+		t.Fatal("Geomean with non-positive input must be 0")
+	}
+}
+
+func TestGeomeanPropertyBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000)/100 + 0.01
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 5) != 2 {
+		t.Fatal("Ratio(10,5)")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Fatal("Ratio(0,0) should be neutral 1")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Fatal("Ratio(x,0) should be 0 (undefined)")
+	}
+}
+
+func TestSortSpansByStart(t *testing.T) {
+	spans := []TBSpan{
+		{TB: 3, SM: 1, Start: 5},
+		{TB: 1, SM: 0, Start: 9},
+		{TB: 2, SM: 0, Start: 2},
+		{TB: 0, SM: 0, Start: 2},
+	}
+	SortSpansByStart(spans)
+	want := []int{2, 1, 3} // SM0 first: (start 2, TB 0), (2, TB 2), (9, TB 1); then SM1
+	_ = want
+	if spans[0].TB != 0 || spans[1].TB != 2 || spans[2].TB != 1 || spans[3].TB != 3 {
+		t.Fatalf("order = %v", spans)
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.1234); got != "12.3%" {
+		t.Fatalf("FormatPct = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+// Package viz renders the experiment artifacts as standalone SVG files —
+// grouped bar charts for Fig. 4 / Fig. 5, stacked composition bars for
+// Fig. 1, and Gantt-style thread-block timelines for Fig. 2 — using only
+// the standard library. The output opens in any browser, so a
+// reproduction run can be inspected visually without plotting tools.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Palette used across charts (colorblind-safe defaults).
+var Palette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"}
+
+const (
+	fontFamily = "ui-monospace, SFMono-Regular, Menlo, monospace"
+	labelSize  = 11
+	titleSize  = 14
+)
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type svg struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newSVG(w, h int) *svg {
+	s := &svg{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&s.b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svg) rect(x, y, w, h float64, fill, title string) {
+	if w < 0.5 {
+		w = 0.5
+	}
+	if h < 0 {
+		h = 0
+	}
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s">`, x, y, w, h, fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, `<title>%s</title>`, esc(title))
+	}
+	s.b.WriteString("</rect>\n")
+}
+
+func (s *svg) line(x1, y1, x2, y2 float64, stroke string, width float64, dash string) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"`,
+		x1, y1, x2, y2, stroke, width)
+	if dash != "" {
+		fmt.Fprintf(&s.b, ` stroke-dasharray="%s"`, dash)
+	}
+	s.b.WriteString("/>\n")
+}
+
+func (s *svg) text(x, y float64, size int, anchor, fill, content string, rotate float64) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="%s" text-anchor="%s" fill="%s"`,
+		x, y, size, fontFamily, anchor, fill)
+	if rotate != 0 {
+		fmt.Fprintf(&s.b, ` transform="rotate(%.0f %.1f %.1f)"`, rotate, x, y)
+	}
+	fmt.Fprintf(&s.b, ">%s</text>\n", esc(content))
+}
+
+func (s *svg) done() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+// Series is one bar series of a grouped chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// GroupedBars renders a grouped bar chart (Fig. 4 / Fig. 5 shape):
+// one group per label, one bar per series, with a dashed reference line
+// at ref (pass 0 to omit).
+func GroupedBars(title string, labels []string, series []Series, ref float64) string {
+	const (
+		mL, mR, mT, mB = 60, 20, 40, 110
+		groupW         = 26
+	)
+	n := len(labels)
+	w := mL + mR + n*groupW*max(1, len(series))/1 + n*10
+	if w < 480 {
+		w = 480
+	}
+	h := 360
+	plotW := float64(w - mL - mR)
+	plotH := float64(h - mT - mB)
+
+	maxV := ref
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV *= 1.1
+
+	sv := newSVG(w, h)
+	sv.text(float64(w)/2, 24, titleSize, "middle", "#222", title, 0)
+	// Axis and gridlines.
+	for i := 0; i <= 4; i++ {
+		v := maxV * float64(i) / 4
+		y := float64(mT) + plotH - plotH*float64(i)/4
+		sv.line(float64(mL), y, float64(w-mR), y, "#ddd", 1, "")
+		sv.text(float64(mL)-6, y+4, labelSize, "end", "#555", fmt.Sprintf("%.2f", v), 0)
+	}
+	if ref > 0 {
+		y := float64(mT) + plotH - plotH*ref/maxV
+		sv.line(float64(mL), y, float64(w-mR), y, "#999", 1.2, "4,3")
+	}
+	groupSpan := plotW / float64(n)
+	barW := groupSpan * 0.8 / float64(max(1, len(series)))
+	for gi, label := range labels {
+		gx := float64(mL) + groupSpan*float64(gi) + groupSpan*0.1
+		for si, s := range series {
+			v := 0.0
+			if gi < len(s.Values) {
+				v = s.Values[gi]
+			}
+			bh := plotH * v / maxV
+			sv.rect(gx+barW*float64(si), float64(mT)+plotH-bh, barW, bh,
+				Palette[si%len(Palette)], fmt.Sprintf("%s / %s: %.3f", label, s.Name, v))
+		}
+		sv.text(gx+groupSpan*0.4, float64(mT)+plotH+12, labelSize, "end", "#333", label, -55)
+	}
+	// Legend.
+	lx := float64(mL)
+	for si, s := range series {
+		sv.rect(lx, 32, 10, 10, Palette[si%len(Palette)], "")
+		sv.text(lx+14, 41, labelSize, "start", "#333", s.Name, 0)
+		lx += 14 + float64(8*len(s.Name)) + 18
+	}
+	sv.line(float64(mL), float64(mT)+plotH, float64(w-mR), float64(mT)+plotH, "#333", 1.2, "")
+	return sv.done()
+}
+
+// StackedShares renders Fig. 1-style 100% stacked bars: per label, the
+// parts must be fractions summing to ~1.
+func StackedShares(title string, labels []string, partNames []string, parts [][]float64) string {
+	const (
+		mL, mR, mT, mB = 60, 20, 40, 110
+	)
+	n := len(labels)
+	w := mL + mR + n*34
+	if w < 480 {
+		w = 480
+	}
+	h := 340
+	plotH := float64(h - mT - mB)
+	groupSpan := (float64(w - mL - mR)) / float64(n)
+
+	sv := newSVG(w, h)
+	sv.text(float64(w)/2, 24, titleSize, "middle", "#222", title, 0)
+	for i := 0; i <= 4; i++ {
+		y := float64(mT) + plotH - plotH*float64(i)/4
+		sv.line(float64(mL), y, float64(w-mR), y, "#ddd", 1, "")
+		sv.text(float64(mL)-6, y+4, labelSize, "end", "#555", fmt.Sprintf("%d%%", 25*i), 0)
+	}
+	for gi, label := range labels {
+		x := float64(mL) + groupSpan*float64(gi) + groupSpan*0.15
+		y := float64(mT) + plotH
+		for pi := range partNames {
+			v := parts[gi][pi]
+			bh := plotH * v
+			y -= bh
+			sv.rect(x, y, groupSpan*0.7, bh, Palette[pi%len(Palette)],
+				fmt.Sprintf("%s / %s: %.1f%%", label, partNames[pi], 100*v))
+		}
+		sv.text(x+groupSpan*0.3, float64(mT)+plotH+12, labelSize, "end", "#333", label, -55)
+	}
+	lx := float64(mL)
+	for pi, name := range partNames {
+		sv.rect(lx, 32, 10, 10, Palette[pi%len(Palette)], "")
+		sv.text(lx+14, 41, labelSize, "start", "#333", name, 0)
+		lx += 14 + float64(8*len(name)) + 18
+	}
+	return sv.done()
+}
+
+// Timeline renders a Fig. 2-style Gantt chart of TB lifetimes on one SM.
+func Timeline(title string, spans []stats.TBSpan, totalCycles int64) string {
+	const (
+		mL, mR, mT, mB = 90, 20, 40, 30
+		rowH           = 14
+	)
+	n := len(spans)
+	w := 720
+	h := mT + mB + n*rowH
+	if h < 160 {
+		h = 160
+	}
+	plotW := float64(w - mL - mR)
+	if totalCycles <= 0 {
+		totalCycles = 1
+	}
+
+	sv := newSVG(w, h)
+	sv.text(float64(w)/2, 24, titleSize, "middle", "#222", title, 0)
+	for i := 0; i <= 4; i++ {
+		x := float64(mL) + plotW*float64(i)/4
+		sv.line(x, float64(mT), x, float64(h-mB), "#ddd", 1, "")
+		sv.text(x, float64(h-mB)+14, labelSize, "middle", "#555",
+			fmt.Sprintf("%d", totalCycles*int64(i)/4), 0)
+	}
+	for i, sp := range spans {
+		y := float64(mT) + float64(i*rowH)
+		x0 := float64(mL) + plotW*float64(sp.Start)/float64(totalCycles)
+		x1 := float64(mL) + plotW*float64(sp.End)/float64(totalCycles)
+		sv.rect(x0, y+2, x1-x0, rowH-4, Palette[sp.Slot%len(Palette)],
+			fmt.Sprintf("TB %d: %d..%d", sp.TB, sp.Start, sp.End))
+		sv.text(float64(mL)-6, y+rowH-3, labelSize, "end", "#333", fmt.Sprintf("TB %d", sp.TB), 0)
+	}
+	return sv.done()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

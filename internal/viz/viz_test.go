@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGroupedBars(t *testing.T) {
+	doc := GroupedBars("Fig 4", []string{"k1", "k2", "k3"},
+		[]Series{
+			{Name: "vs TL", Values: []float64{1.1, 1.3, 0.9}},
+			{Name: "vs LRR", Values: []float64{1.0, 1.2, 1.05}},
+		}, 1.0)
+	wellFormed(t, doc)
+	for _, frag := range []string{"Fig 4", "vs TL", "vs LRR", "k1", "<rect", "stroke-dasharray"} {
+		if !strings.Contains(doc, frag) {
+			t.Errorf("missing %q", frag)
+		}
+	}
+	// 3 groups × 2 series bars plus background/legend rects.
+	if n := strings.Count(doc, "<rect"); n < 9 {
+		t.Errorf("only %d rects", n)
+	}
+}
+
+func TestGroupedBarsEmptyAndZero(t *testing.T) {
+	doc := GroupedBars("empty", nil, nil, 0)
+	wellFormed(t, doc)
+	doc = GroupedBars("zeros", []string{"a"}, []Series{{Name: "s", Values: []float64{0}}}, 0)
+	wellFormed(t, doc)
+}
+
+func TestStackedShares(t *testing.T) {
+	doc := StackedShares("Fig 1", []string{"AES", "BFS"},
+		[]string{"sb", "idle", "pipe"},
+		[][]float64{{0.2, 0.3, 0.5}, {0.1, 0.1, 0.8}})
+	wellFormed(t, doc)
+	for _, frag := range []string{"Fig 1", "AES", "idle", "50%"} {
+		if !strings.Contains(doc, frag) {
+			t.Errorf("missing %q", frag)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	spans := []stats.TBSpan{
+		{TB: 0, SM: 0, Slot: 0, Start: 0, End: 500},
+		{TB: 14, SM: 0, Slot: 1, Start: 100, End: 900},
+	}
+	doc := Timeline("Fig 2", spans, 1000)
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "TB 14") {
+		t.Error("missing TB label")
+	}
+	doc = Timeline("empty", nil, 0)
+	wellFormed(t, doc)
+}
+
+func TestEscaping(t *testing.T) {
+	doc := GroupedBars(`a<b>&"q"`, []string{"x&y"}, []Series{{Name: "<s>", Values: []float64{1}}}, 0)
+	wellFormed(t, doc)
+	if strings.Contains(doc, "a<b>") {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,206 @@
+package workloads
+
+import "repro/internal/isa"
+
+// cudaSDKSuite builds the nine CUDA-SDK kernels of Table II.
+func cudaSDKSuite() []*Workload {
+	return []*Workload{
+		convolutionRows(), convolutionColumns(),
+		histogram64(), mergeHistogram64(),
+		histogram256(), mergeHistogram256(),
+		inverseCND(), monteCarloOneBlockPerOption(),
+		scalarProdGPU(),
+	}
+}
+
+// convolutionRows models convolutionRowsKernel: stream tiles into shared
+// memory behind a barrier, run the filter taps, stream results out.
+// Bandwidth-dominated with a huge grid.
+func convolutionRows() *Workload {
+	b := isa.NewBuilder("convolutionRowsKernel")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.StShared(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	b.Loop(isa.LoopSpec{Min: 8, Max: 8})
+	{
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+		b.LdConst(4)
+		b.FFMA(5, 3, 4, 5)
+	}
+	b.EndLoop()
+	b.StGlobal(5, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("convSep", "convolutionRowsKernel", SuiteCUDASDK, 18432, 32, 128, 16, 4*1024, b.MustBuild(),
+		"row filter; tile staging; streaming bandwidth-bound")
+}
+
+// convolutionColumns models convolutionColumnsKernel: the column variant
+// needs taller tiles (more shared memory, lower residency) and its
+// shared-memory walk is strided.
+func convolutionColumns() *Workload {
+	b := isa.NewBuilder("convolutionColumnsKernel")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.StShared(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	b.Loop(isa.LoopSpec{Min: 8, Max: 8})
+	{
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatStrided, Stride: 20, IterVaries: true})
+		b.LdConst(4)
+		b.FFMA(5, 3, 4, 5)
+	}
+	b.EndLoop()
+	b.StGlobal(5, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("convSep", "convolutionColumnsKernel", SuiteCUDASDK, 9216, 16, 128, 16, 8*1024, b.MustBuild(),
+		"column filter; taller tiles (lower residency); strided shared walk")
+}
+
+// histogramKernel is the shared shape of histogram64Kernel and
+// histogram256Kernel: stream data, scatter into per-block shared-memory
+// bins (bank-conflicting read-modify-writes), then merge behind barriers.
+func histogramKernel(kernel string, paperTBs, scale, block, smem, trips int) *Workload {
+	b := isa.NewBuilder(kernel)
+	b.Loop(isa.LoopSpec{Min: trips, Max: trips})
+	{
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0, IterVaries: true})
+		b.LdShared(2, isa.MemSpec{Pattern: isa.PatRandom, Region: uint64(smem), IterVaries: true})
+		b.IAdd(2, 2, 1)
+		b.StShared(2, isa.MemSpec{Pattern: isa.PatRandom, Region: uint64(smem), IterVaries: true})
+	}
+	b.EndLoop()
+	b.Bar()
+	b.LdShared(3, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.IAdd(4, 3, 2)
+	b.Bar()
+	b.LdShared(5, isa.MemSpec{Pattern: isa.PatStrided, Stride: 16})
+	b.IAdd(4, 4, 5)
+	b.StGlobal(4, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("histogram", kernel, SuiteCUDASDK, paperTBs, scale, block, 16, smem, b.MustBuild(),
+		"shared-memory bin scatter with bank conflicts; barrier-merged tails")
+}
+
+func histogram64() *Workload  { return histogramKernel("histogram64Kernel", 4370, 8, 64, 4*1024, 32) }
+func histogram256() *Workload { return histogramKernel("histogram256Kernel", 240, 1, 192, 12*1024, 48) }
+
+// mergeHistogram64 models mergeHistogram64Kernel: gather partial bins
+// across blocks (strided, uncoalesced) and tree-reduce behind barriers.
+func mergeHistogram64() *Workload {
+	b := isa.NewBuilder("mergeHistogram64Kernel")
+	b.Loop(isa.LoopSpec{Min: 4, Max: 4})
+	{
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatStrided, Stride: 256, Space: 0, IterVaries: true})
+		b.IAdd(2, 2, 1)
+	}
+	b.EndLoop()
+	b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	for step := 0; step < 3; step++ {
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8 << step})
+		b.IAdd(2, 2, 3)
+		b.Bar()
+	}
+	b.StGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("histogram", "mergeHistogram64Kernel", SuiteCUDASDK, 64, 1, 64, 12, 1024, b.MustBuild(),
+		"cross-block gather; tiny single-batch grid; reduction barriers")
+}
+
+// mergeHistogram256 is the 256-bin merge: more gather work per thread and
+// a deeper reduction.
+func mergeHistogram256() *Workload {
+	b := isa.NewBuilder("mergeHistogram256Kernel")
+	b.Loop(isa.LoopSpec{Min: 4, Max: 4})
+	{
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatStrided, Stride: 256, Space: 0, IterVaries: true})
+		b.IAdd(2, 2, 1)
+	}
+	b.EndLoop()
+	b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	for step := 0; step < 4; step++ {
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8 << step})
+		b.IAdd(2, 2, 3)
+		b.Bar()
+	}
+	b.StGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("histogram", "mergeHistogram256Kernel", SuiteCUDASDK, 256, 1, 256, 12, 1024, b.MustBuild(),
+		"cross-block gather; reduction barriers; strided global traffic")
+}
+
+// inverseCND models inverseCNDKernel: a short SFU-saturated
+// transcendental pipeline over a streaming array.
+func inverseCND() *Workload {
+	b := isa.NewBuilder("inverseCNDKernel")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.SFU(2, 1)
+	b.FFMA(3, 2, 1, 2)
+	b.SFU(4, 3)
+	b.FFMA(5, 4, 2, 3)
+	b.SFU(6, 5)
+	b.FMul(7, 6, 4)
+	b.StGlobal(7, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("MonteCarlo", "inverseCNDKernel", SuiteCUDASDK, 128, 1, 128, 16, 0, b.MustBuild(),
+		"SFU-saturated transform; small single-batch grid")
+}
+
+// monteCarloOneBlockPerOption models MonteCarloOneBlockPerOption: a long
+// per-thread path loop of SFU+FFMA work followed by a barrier reduction;
+// per-warp path-count imbalance makes warps hit the reduction barrier far
+// apart.
+func monteCarloOneBlockPerOption() *Workload {
+	b := isa.NewBuilder("MonteCarloOneBlockPerOption")
+	b.LdConst(1)
+	b.Loop(isa.LoopSpec{Min: 28, Max: 36, Imb: isa.ImbPerWarp})
+	{
+		b.SFU(2, 1)
+		b.FFMA(3, 2, 1, 3)
+		b.FFMA(4, 3, 2, 4)
+		b.FAdd(5, 4, 3)
+	}
+	b.EndLoop()
+	b.StShared(5, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	for step := 0; step < 3; step++ {
+		b.LdShared(6, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8 << step})
+		b.FAdd(5, 5, 6)
+		b.Bar()
+	}
+	b.StGlobal(5, isa.MemSpec{Pattern: isa.PatBroadcast, Space: 1})
+	b.Exit()
+	return mk("MonteCarlo", "MonteCarloOneBlockPerOption", SuiteCUDASDK, 256, 1, 256, 24, 4*1024, b.MustBuild(),
+		"path simulation; per-warp imbalance into a barrier reduction")
+}
+
+// scalarProdGPU models scalarProdGPU: streaming dot-product accumulation
+// with per-warp chunk imbalance, then a barrier-stepped shared-memory
+// reduction tree — the paper's most scheduler-sensitive kernel (max
+// speedup over LRR/TL, and the one that prefers barrier handling off).
+func scalarProdGPU() *Workload {
+	b := isa.NewBuilder("scalarProdGPU")
+	b.Loop(isa.LoopSpec{Min: 20, Max: 28, Imb: isa.ImbPerWarp})
+	{
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0, IterVaries: true})
+		b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1, IterVaries: true})
+		b.FFMA(3, 1, 2, 3)
+	}
+	b.EndLoop()
+	b.StShared(3, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	for step := 0; step < 3; step++ {
+		b.LdShared(4, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8 << step})
+		b.FAdd(3, 3, 4)
+		b.StShared(3, isa.MemSpec{Pattern: isa.PatCoalesced})
+		b.Bar()
+	}
+	b.StGlobal(3, isa.MemSpec{Pattern: isa.PatBroadcast, Space: 2})
+	b.Exit()
+	return mk("ScalarProd", "scalarProdGPU", SuiteCUDASDK, 128, 1, 256, 16, 4*1024, b.MustBuild(),
+		"dot product: imbalanced accumulation into a 4-barrier reduction tree")
+}

@@ -1,0 +1,211 @@
+package workloads
+
+import "repro/internal/isa"
+
+// gpgpusimSuite builds the first ten Table II kernels (GPGPU-SIM suite).
+func gpgpusimSuite() []*Workload {
+	return []*Workload{
+		aes(), bfs(), cp(), lps(),
+		nnLayer("executeFirstLayer", 168, 1, 25, 25),
+		nnLayer("executeSecondLayer", 1400, 4, 50, 50),
+		nnLayer("executeThirdLayer", 2800, 8, 30, 30),
+		nnFourthLayer(),
+		ray(), sto(),
+	}
+}
+
+// aes models aesEncrypt128: T-box tables staged in shared memory behind a
+// barrier, ten rounds of conflict-prone shared-memory lookups and integer
+// mixing, with one coalesced state load/store pair.
+func aes() *Workload {
+	b := isa.NewBuilder("aesEncrypt128")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.StShared(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	b.Loop(isa.LoopSpec{Min: 10, Max: 10})
+	{
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatRandom, Region: 4096, IterVaries: true})
+		b.LdShared(4, isa.MemSpec{Pattern: isa.PatRandom, Region: 4096, IterVaries: true})
+		b.LdShared(5, isa.MemSpec{Pattern: isa.PatRandom, Region: 4096, IterVaries: true})
+		b.LdShared(6, isa.MemSpec{Pattern: isa.PatRandom, Region: 4096, IterVaries: true})
+		b.IAdd(7, 3, 4)
+		b.IAdd(8, 5, 6)
+		b.IMul(9, 7, 8)
+		b.IAdd(10, 9, 1)
+		b.IAdd(11, 10, 2)
+		b.IAdd(1, 11, 7)
+	}
+	b.EndLoop()
+	b.StGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 2})
+	b.Exit()
+	return mk("AES", "aesEncrypt128", SuiteGPGPUSim, 257, 1, 256, 20, 8*1024, b.MustBuild(),
+		"shared-memory T-box rounds; one barrier; coalesced state I/O")
+}
+
+// bfs models the BFS kernel: one coalesced frontier read, then a
+// data-dependent visit — irregular neighbor loads with per-thread
+// divergence and no barriers, finishing at widely different times.
+func bfs() *Workload {
+	b := isa.NewBuilder("kernel")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.IAdd(2, 1, 0)
+	b.IfRandom(0.4)
+	{
+		b.Loop(isa.LoopSpec{Min: 2, Max: 8, Imb: isa.ImbPerThread})
+		{
+			b.LdGlobal(3, isa.MemSpec{Pattern: isa.PatRandom, Region: 8 << 20, Space: 1, IterVaries: true})
+			b.IAdd(2, 2, 3)
+		}
+		b.EndLoop()
+		b.StGlobal(2, isa.MemSpec{Pattern: isa.PatRandom, Region: 4 << 20, Space: 2})
+	}
+	b.EndIf()
+	b.Exit()
+	return mk("BFS", "kernel", SuiteGPGPUSim, 256, 1, 512, 12, 0, b.MustBuild(),
+		"irregular frontier expansion; heavy intra-warp divergence; no barriers")
+}
+
+// cp models cenergy (Coulombic potential): a long compute loop over atoms
+// held in constant memory — FFMA chains with an rsqrt per atom — and one
+// coalesced store. Compute-bound with high SFU pressure.
+func cp() *Workload {
+	b := isa.NewBuilder("cenergy")
+	b.LdConst(1)
+	b.FMul(2, 1, 1)
+	b.Loop(isa.LoopSpec{Min: 40, Max: 40})
+	{
+		b.LdConst(3)
+		b.FFMA(4, 3, 3, 2)
+		b.FFMA(5, 4, 3, 1)
+		b.SFU(6, 5)
+		b.FFMA(2, 6, 3, 2)
+		b.FAdd(7, 2, 6)
+		b.FFMA(2, 7, 1, 2)
+	}
+	b.EndLoop()
+	b.StGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.Exit()
+	return mk("CP", "cenergy", SuiteGPGPUSim, 256, 1, 128, 30, 0, b.MustBuild(),
+		"compute-bound atom loop from constant memory; rsqrt per iteration")
+}
+
+// lps models GPU_laplace3d: a z-sweep stencil staging planes in shared
+// memory with a barrier per plane and streaming coalesced global traffic.
+func lps() *Workload {
+	b := isa.NewBuilder("GPU_laplace3d")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.Loop(isa.LoopSpec{Min: 16, Max: 16})
+	{
+		b.StShared(1, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+		b.Bar()
+		b.LdShared(2, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatStrided, Stride: 132, IterVaries: true})
+		b.FAdd(4, 2, 3)
+		b.FFMA(5, 4, 2, 3)
+		b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0, IterVaries: true})
+		b.FFMA(6, 5, 4, 2)
+		b.Bar()
+	}
+	b.EndLoop()
+	b.StGlobal(6, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("LPS", "GPU_laplace3d", SuiteGPGPUSim, 100, 1, 128, 24, 2*1024, b.MustBuild(),
+		"3D stencil z-sweep; two barriers per plane; single-batch grid")
+}
+
+// nnLayer models the neuralnet convolution layers: a window loop of
+// streaming loads and FFMAs ending in an SFU activation. Layers differ in
+// grid size and window trip count.
+func nnLayer(kernel string, paperTBs, scale, minTrips, maxTrips int) *Workload {
+	b := isa.NewBuilder(kernel)
+	b.LdConst(1)
+	b.Loop(isa.LoopSpec{Min: minTrips, Max: maxTrips})
+	{
+		b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0, IterVaries: true})
+		b.LdConst(3)
+		b.FFMA(4, 2, 3, 4)
+		b.FFMA(5, 4, 1, 5)
+	}
+	b.EndLoop()
+	b.SFU(6, 5)
+	b.StGlobal(6, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("NN", kernel, SuiteGPGPUSim, paperTBs, scale, 128, 16, 0, b.MustBuild(),
+		"convolution window loop; streaming loads + FFMA; sigmoid via SFU")
+}
+
+// nnFourthLayer adds per-warp imbalance: the final layer's output neurons
+// have uneven fan-in, so warps finish at different times.
+func nnFourthLayer() *Workload {
+	b := isa.NewBuilder("executeFourthLayer")
+	b.LdConst(1)
+	b.Loop(isa.LoopSpec{Min: 20, Max: 30, Imb: isa.ImbPerWarp})
+	{
+		b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0, IterVaries: true})
+		b.LdConst(3)
+		b.FFMA(4, 2, 3, 4)
+		b.FFMA(5, 4, 1, 5)
+	}
+	b.EndLoop()
+	b.SFU(6, 5)
+	b.StGlobal(6, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("NN", "executeFourthLayer", SuiteGPGPUSim, 280, 1, 128, 16, 0, b.MustBuild(),
+		"uneven fan-in: per-warp trip imbalance, warp-level divergence at finish")
+}
+
+// ray models render: a per-thread ray-march loop of very uneven depth
+// with scene reads showing block-local locality — the classic
+// warp-divergence stress.
+func ray() *Workload {
+	b := isa.NewBuilder("render")
+	b.LdConst(1)
+	b.FFMA(2, 1, 1, 1)
+	b.FMul(3, 2, 1)
+	b.Loop(isa.LoopSpec{Min: 4, Max: 24, Imb: isa.ImbPerThread})
+	{
+		b.FFMA(4, 3, 2, 1)
+		b.SFU(5, 4)
+		b.LdGlobal(6, isa.MemSpec{Pattern: isa.PatTBLocal, Region: 64 << 10, Space: 0, IterVaries: true})
+		b.IfRandom(0.3)
+		{
+			b.FFMA(3, 6, 5, 3)
+			b.FAdd(2, 3, 5)
+		}
+		b.EndIf()
+		b.FFMA(3, 5, 6, 2)
+	}
+	b.EndLoop()
+	b.StGlobal(3, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("RAY", "render", SuiteGPGPUSim, 512, 1, 128, 40, 0, b.MustBuild(),
+		"ray marching with per-thread depth; divergent shading branch")
+}
+
+// sto models sha1_overlap: long integer-rotation rounds with per-warp
+// chunk imbalance and shared-memory staging.
+func sto() *Workload {
+	b := isa.NewBuilder("sha1_overlap")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.Loop(isa.LoopSpec{Min: 16, Max: 24, Imb: isa.ImbPerWarp})
+	{
+		b.LdShared(3, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+		b.IAdd(4, 1, 3)
+		b.IMul(5, 4, 2)
+		b.IAdd(6, 5, 4)
+		b.IMul(7, 6, 1)
+		b.IAdd(8, 7, 5)
+		b.IAdd(1, 8, 6)
+		b.IMul(2, 1, 7)
+		b.IAdd(2, 2, 8)
+		b.StShared(2, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+	}
+	b.EndLoop()
+	b.StGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.Exit()
+	return mk("STO", "sha1_overlap", SuiteGPGPUSim, 384, 1, 128, 32, 8*1024, b.MustBuild(),
+		"integer hash rounds; per-warp chunk imbalance; no barriers")
+}

@@ -1,0 +1,92 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/prosim"
+)
+
+// TestEveryWorkloadRunsUnderEveryScheduler is the suite-wide smoke and
+// invariant test: all 25 Table II kernels, shrunk to a couple of
+// residency batches, must complete under all four policies, execute the
+// identical dynamic instruction stream, and satisfy the stall-accounting
+// identity. Skipped under -short (it simulates 100 kernel launches).
+func TestEveryWorkloadRunsUnderEveryScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite integration test skipped in -short mode")
+	}
+	cfg := prosim.GTX480()
+	scheds := []string{"TL", "LRR", "GTO", "PRO"}
+	for _, w := range workloads.All() {
+		w := w.Shrunk(30)
+		t.Run(w.Kernel, func(t *testing.T) {
+			var refInstrs int64
+			for _, sched := range scheds {
+				r, err := prosim.RunWorkload(w, sched, prosim.Options{})
+				if err != nil {
+					t.Fatalf("%s: %v", sched, err)
+				}
+				if r.Cycles <= 0 || r.WarpInstrs <= 0 {
+					t.Fatalf("%s: empty run", sched)
+				}
+				if refInstrs == 0 {
+					refInstrs = r.ThreadInstrs
+				} else if r.ThreadInstrs != refInstrs {
+					t.Errorf("%s executed %d thread-instrs, %s executed %d",
+						sched, r.ThreadInstrs, scheds[0], refInstrs)
+				}
+				slots := r.Cycles * int64(cfg.NumSMs) * int64(cfg.SchedulersPerSM)
+				if r.Stalls.Slots() != slots {
+					t.Errorf("%s: stall accounting off: %d vs %d", sched, r.Stalls.Slots(), slots)
+				}
+				if r.Stalls.Issued != r.WarpInstrs {
+					t.Errorf("%s: issued slots != warp instrs", sched)
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierKernelsReduceBarrierWaitUnderPRO checks the paper's central
+// barrier claim on the barrier-heavy kernels: PRO's mean
+// first-arrival-to-release wait must not exceed LRR's by more than a
+// small tolerance, and must strictly improve on at least half of them.
+func TestBarrierKernelsReduceBarrierWaitUnderPRO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	kernels := []string{
+		"scalarProdGPU", "MonteCarloOneBlockPerOption",
+		"bpnn_layerforward", "mergeHistogram256Kernel",
+	}
+	improved := 0
+	for _, k := range kernels {
+		w, err := workloads.ByKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = w.Shrunk(60)
+		lrr, err := prosim.RunWorkload(w, "LRR", prosim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pro, err := prosim.RunWorkload(w, "PRO", prosim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lrr.BarrierEpisodes == 0 {
+			t.Fatalf("%s: no barrier episodes recorded", k)
+		}
+		if pro.AvgBarrierWait() < lrr.AvgBarrierWait() {
+			improved++
+		}
+		if pro.AvgBarrierWait() > 1.5*lrr.AvgBarrierWait() {
+			t.Errorf("%s: PRO barrier wait %.0f far above LRR %.0f",
+				k, pro.AvgBarrierWait(), lrr.AvgBarrierWait())
+		}
+	}
+	if improved < len(kernels)/2 {
+		t.Errorf("PRO improved barrier wait on only %d of %d barrier kernels", improved, len(kernels))
+	}
+}

@@ -1,0 +1,143 @@
+package workloads
+
+import "repro/internal/isa"
+
+// rodiniaSuite builds the six Rodinia kernels of Table II.
+func rodiniaSuite() []*Workload {
+	return []*Workload{
+		backpropLayerforward(), backpropAdjustWeights(),
+		btreeFindRangeK(), btreeFindK(),
+		hotspot(), pathfinder(),
+	}
+}
+
+// backpropLayerforward models bpnn_layerforward: stage inputs in shared
+// memory, then a barrier-separated tree reduction over the 16×16 block
+// with power-of-two strided shared accesses.
+func backpropLayerforward() *Workload {
+	b := isa.NewBuilder("bpnn_layerforward")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatStrided, Stride: 64, Space: 1})
+	b.FMul(3, 1, 2)
+	b.StShared(3, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	for step := 0; step < 4; step++ {
+		b.LdShared(4, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8 << step})
+		b.FAdd(3, 3, 4)
+		b.StShared(3, isa.MemSpec{Pattern: isa.PatCoalesced})
+		b.Bar()
+	}
+	b.FFMA(5, 3, 1, 2)
+	b.StGlobal(5, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 2})
+	b.Exit()
+	return mk("backprop", "bpnn_layerforward", SuiteRodinia, 4096, 8, 256, 16, 2*1024, b.MustBuild(),
+		"shared-memory tree reduction; 5 barriers; strided bank pressure")
+}
+
+// backpropAdjustWeights models bpnn_adjust_weights_cuda: a barrier-free
+// read-modify-write sweep over the weight matrix, bandwidth-bound.
+func backpropAdjustWeights() *Workload {
+	b := isa.NewBuilder("bpnn_adjust_weights_cuda")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.FFMA(3, 1, 2, 3)
+	b.StGlobal(3, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.LdGlobal(4, isa.MemSpec{Pattern: isa.PatStrided, Stride: 68, Space: 2})
+	b.FFMA(5, 4, 1, 2)
+	b.FAdd(5, 5, 3)
+	b.StGlobal(5, isa.MemSpec{Pattern: isa.PatStrided, Stride: 68, Space: 2})
+	b.Exit()
+	return mk("backprop", "bpnn_adjust_weights_cuda", SuiteRodinia, 4096, 8, 256, 20, 0, b.MustBuild(),
+		"bandwidth-bound weight update; mixed coalesced and strided traffic")
+}
+
+// btreeTraversal is the common b+tree shape: a level-by-level descent
+// with block-local irregular node fetches and divergent key comparisons.
+// Per-warp depth imbalance makes warps of a TB finish far apart — the
+// finishWait scenario PRO targets.
+func btreeTraversal(kernel string, paperTBs, scale, extraLoads int) *Workload {
+	b := isa.NewBuilder(kernel)
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.Loop(isa.LoopSpec{Min: 4, Max: 8, Imb: isa.ImbPerWarp})
+	{
+		b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatTBLocal, Region: 512 << 10, Space: 1, IterVaries: true})
+		for i := 0; i < extraLoads; i++ {
+			b.LdGlobal(3, isa.MemSpec{Pattern: isa.PatTBLocal, Region: 512 << 10, Space: 2, IterVaries: true})
+			b.IAdd(4, 2, 3)
+		}
+		b.IfRandom(0.5)
+		{
+			b.IAdd(1, 1, 2)
+		}
+		b.EndIf()
+		b.IMul(5, 1, 2)
+	}
+	b.EndLoop()
+	b.StGlobal(5, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 3})
+	b.Exit()
+	return mk("b+tree", kernel, SuiteRodinia, paperTBs, scale, 256, 16, 0, b.MustBuild(),
+		"tree descent; irregular node fetches; per-warp depth imbalance")
+}
+
+func btreeFindRangeK() *Workload { return btreeTraversal("findRageK", 6000, 24, 1) }
+func btreeFindK() *Workload      { return btreeTraversal("findK", 10000, 40, 0) }
+
+// hotspot models calculate_temp: an iterative in-shared-memory stencil
+// with border-lane divergence and two barriers per pyramid iteration.
+func hotspot() *Workload {
+	b := isa.NewBuilder("calculate_temp")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1})
+	b.StShared(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	b.Loop(isa.LoopSpec{Min: 6, Max: 6})
+	{
+		b.IfLaneLess(28)
+		{
+			b.LdShared(3, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+			b.LdShared(4, isa.MemSpec{Pattern: isa.PatStrided, Stride: 68, IterVaries: true})
+			b.FFMA(5, 3, 4, 2)
+			b.FFMA(6, 5, 3, 4)
+			b.FFMA(7, 6, 2, 5)
+		}
+		b.EndIf()
+		b.Bar()
+		b.StShared(7, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+		b.Bar()
+	}
+	b.EndLoop()
+	b.StGlobal(7, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 2})
+	b.Exit()
+	return mk("hotspot", "calculate_temp", SuiteRodinia, 1849, 4, 256, 24, 3*1024, b.MustBuild(),
+		"pyramid stencil; 13 barriers; border-lane divergence")
+}
+
+// pathfinder models dynproc_kernel: a shorter iterative wavefront with a
+// barrier per row and edge-lane divergence.
+func pathfinder() *Workload {
+	b := isa.NewBuilder("dynproc_kernel")
+	b.LdGlobal(1, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 0})
+	b.StShared(1, isa.MemSpec{Pattern: isa.PatCoalesced})
+	b.Bar()
+	b.Loop(isa.LoopSpec{Min: 5, Max: 5})
+	{
+		b.IfLaneLess(30)
+		{
+			b.LdShared(2, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+			b.LdShared(3, isa.MemSpec{Pattern: isa.PatStrided, Stride: 8, IterVaries: true})
+			b.IAdd(4, 2, 3)
+			b.FAdd(5, 4, 1)
+		}
+		b.EndIf()
+		b.Bar()
+		b.StShared(5, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+		b.Bar()
+	}
+	b.EndLoop()
+	b.LdGlobal(6, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 1, IterVaries: true})
+	b.FAdd(7, 5, 6)
+	b.StGlobal(7, isa.MemSpec{Pattern: isa.PatCoalesced, Space: 2})
+	b.Exit()
+	return mk("pathfinder", "dynproc_kernel", SuiteRodinia, 463, 1, 256, 16, 2*1024, b.MustBuild(),
+		"dynamic-programming wavefront; 11 barriers; edge-lane divergence")
+}

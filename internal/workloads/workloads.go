@@ -1,0 +1,135 @@
+// Package workloads defines the 25 benchmark kernels of the paper's
+// Table II as synthetic programs for the simulator's mini-ISA.
+//
+// Each synthetic kernel reproduces the structural, scheduling-relevant
+// character of the original CUDA kernel: grid and block shape, per-TB
+// resource footprint (which sets SM residency), instruction mix
+// (SP/SFU/global/shared/constant), barrier structure, memory access
+// patterns, and divergence/imbalance behaviour. Grids larger than ~600
+// TBs are scaled down (divisor in Workload.Scale) to keep simulations
+// laptop-sized while preserving the multi-batch residency behaviour of
+// Sec. II-C (every scaled grid still holds several times the GPU's
+// concurrent TB capacity).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/xrand"
+)
+
+// Workload is one Table II row.
+type Workload struct {
+	// App is the application name exactly as Table III spells it.
+	App string
+	// Kernel is the kernel name exactly as Table II spells it.
+	Kernel string
+	// Suite is the benchmark suite of origin.
+	Suite string
+	// PaperTBs is the grid size in the paper's Table II.
+	PaperTBs int
+	// Scale is the grid divisor we applied (1 = unscaled).
+	Scale int
+	// Launch is the runnable launch (grid = PaperTBs/Scale).
+	Launch *engine.Launch
+	// Note documents what the synthetic program models.
+	Note string
+}
+
+// Suite names.
+const (
+	SuiteGPGPUSim = "GPGPU-SIM"
+	SuiteRodinia  = "Rodinia"
+	SuiteCUDASDK  = "CUDA-SDK"
+)
+
+// seed derives a stable per-kernel seed from its name.
+func seed(kernel string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(kernel); i++ {
+		h = xrand.Hash64(h ^ uint64(kernel[i]))
+	}
+	return h
+}
+
+// mk assembles a Workload, applying the grid scale and seeding the
+// launch; it panics on malformed definitions (covered by tests).
+func mk(app, kernel, suite string, paperTBs, scale int, block, regs, smem int, prog *isa.Program, note string) *Workload {
+	if scale < 1 {
+		panic("workloads: scale must be >= 1")
+	}
+	grid := paperTBs / scale
+	if grid < 1 {
+		grid = 1
+	}
+	return &Workload{
+		App:      app,
+		Kernel:   kernel,
+		Suite:    suite,
+		PaperTBs: paperTBs,
+		Scale:    scale,
+		Launch: &engine.Launch{
+			Program:        prog,
+			GridTBs:        grid,
+			BlockThreads:   block,
+			RegsPerThread:  regs,
+			SharedMemPerTB: smem,
+			Seed:           seed(kernel),
+		},
+		Note: note,
+	}
+}
+
+// All returns the 25 workloads in Table II order.
+func All() []*Workload {
+	var ws []*Workload
+	ws = append(ws, gpgpusimSuite()...)
+	ws = append(ws, rodiniaSuite()...)
+	ws = append(ws, cudaSDKSuite()...)
+	return ws
+}
+
+// Apps returns the 15 application names in Table III order.
+func Apps() []string {
+	return []string{
+		"AES", "BFS", "CP", "LPS", "NN", "RAY", "STO",
+		"backprop", "b+tree", "hotspot", "pathfinder",
+		"convSep", "histogram", "MonteCarlo", "ScalarProd",
+	}
+}
+
+// ByKernel returns the workload with the given kernel name, or an error.
+func ByKernel(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Kernel == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown kernel %q", name)
+}
+
+// ByApp returns the workloads of one application in Table II order.
+func ByApp(app string) []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.App == app {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Shrunk returns a copy of w with its grid reduced to at most maxTBs —
+// used by tests and quick examples. The program, block shape and
+// resources are unchanged.
+func (w *Workload) Shrunk(maxTBs int) *Workload {
+	dup := *w
+	l := *w.Launch
+	if l.GridTBs > maxTBs {
+		l.GridTBs = maxTBs
+	}
+	dup.Launch = &l
+	return &dup
+}

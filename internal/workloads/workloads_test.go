@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func TestTableIIInventory(t *testing.T) {
+	ws := All()
+	if len(ws) != 25 {
+		t.Fatalf("Table II has 25 kernels, got %d", len(ws))
+	}
+	// Exact kernel names and paper TB counts from Table II.
+	want := []struct {
+		kernel string
+		tbs    int
+	}{
+		{"aesEncrypt128", 257}, {"kernel", 256}, {"cenergy", 256},
+		{"GPU_laplace3d", 100},
+		{"executeFirstLayer", 168}, {"executeSecondLayer", 1400},
+		{"executeThirdLayer", 2800}, {"executeFourthLayer", 280},
+		{"render", 512}, {"sha1_overlap", 384},
+		{"bpnn_layerforward", 4096}, {"bpnn_adjust_weights_cuda", 4096},
+		{"findRageK", 6000}, {"findK", 10000},
+		{"calculate_temp", 1849}, {"dynproc_kernel", 463},
+		{"convolutionRowsKernel", 18432}, {"convolutionColumnsKernel", 9216},
+		{"histogram64Kernel", 4370}, {"mergeHistogram64Kernel", 64},
+		{"histogram256Kernel", 240}, {"mergeHistogram256Kernel", 256},
+		{"inverseCNDKernel", 128}, {"MonteCarloOneBlockPerOption", 256},
+		{"scalarProdGPU", 128},
+	}
+	for i, w := range want {
+		if ws[i].Kernel != w.kernel {
+			t.Errorf("row %d kernel = %s, want %s", i, ws[i].Kernel, w.kernel)
+		}
+		if ws[i].PaperTBs != w.tbs {
+			t.Errorf("%s PaperTBs = %d, want %d", w.kernel, ws[i].PaperTBs, w.tbs)
+		}
+	}
+}
+
+func TestAppsMatchTableIII(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 15 {
+		t.Fatalf("Table III has 15 applications, got %d", len(apps))
+	}
+	// Every workload's app must be in the list; every app must have at
+	// least one kernel.
+	byApp := map[string]int{}
+	for _, w := range All() {
+		byApp[w.App]++
+	}
+	if len(byApp) != 15 {
+		t.Fatalf("workloads span %d apps, want 15", len(byApp))
+	}
+	for _, app := range apps {
+		if byApp[app] == 0 {
+			t.Errorf("app %s has no kernels", app)
+		}
+	}
+	// The paper's per-app kernel counts: NN has 4, histogram 4, etc.
+	counts := map[string]int{
+		"NN": 4, "histogram": 4, "backprop": 2, "b+tree": 2,
+		"convSep": 2, "MonteCarlo": 2,
+	}
+	for app, n := range counts {
+		if byApp[app] != n {
+			t.Errorf("app %s has %d kernels, want %d", app, byApp[app], n)
+		}
+	}
+}
+
+func TestEveryLaunchValidAndResident(t *testing.T) {
+	cfg := config.GTX480()
+	for _, w := range All() {
+		if err := w.Launch.Validate(cfg); err != nil {
+			t.Errorf("%s: %v", w.Kernel, err)
+			continue
+		}
+		res := w.Launch.ResidentTBs(cfg)
+		if res < 1 {
+			t.Errorf("%s: zero residency", w.Kernel)
+		}
+		if res > cfg.MaxTBsPerSM {
+			t.Errorf("%s: residency %d exceeds hardware cap", w.Kernel, res)
+		}
+	}
+}
+
+func TestScaledGridsKeepMultipleBatches(t *testing.T) {
+	// The SM-residency phenomenon of Sec. II-C requires grids well above
+	// concurrent capacity. Every workload the paper lists with a big
+	// grid must keep at least ~2 batches after scaling; single-batch
+	// kernels in the paper (LPS 100 TBs, mergeHistogram64 64 TBs,
+	// inverseCND 128, scalarProd 128) are allowed below that.
+	cfg := config.GTX480()
+	singleBatch := map[string]bool{
+		"GPU_laplace3d": true, "mergeHistogram64Kernel": true,
+		"inverseCNDKernel": true, "scalarProdGPU": true,
+	}
+	for _, w := range All() {
+		capacity := w.Launch.ResidentTBs(cfg) * cfg.NumSMs
+		batches := float64(w.Launch.GridTBs) / float64(capacity)
+		if singleBatch[w.Kernel] {
+			continue
+		}
+		if batches < 1.5 {
+			t.Errorf("%s: %d TBs over capacity %d = %.1f batches; scaling destroyed the multi-batch structure",
+				w.Kernel, w.Launch.GridTBs, capacity, batches)
+		}
+	}
+}
+
+func TestScalingPreservedOnlyWhereNeeded(t *testing.T) {
+	for _, w := range All() {
+		if w.PaperTBs <= 600 && w.Scale != 1 {
+			t.Errorf("%s: small paper grid (%d) was scaled by %d", w.Kernel, w.PaperTBs, w.Scale)
+		}
+		if got := w.PaperTBs / w.Scale; w.Launch.GridTBs != got && got >= 1 {
+			t.Errorf("%s: grid %d != PaperTBs/Scale = %d", w.Kernel, w.Launch.GridTBs, got)
+		}
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, w := range All() {
+		if other, dup := seen[w.Launch.Seed]; dup {
+			t.Errorf("%s and %s share a seed", w.Kernel, other)
+		}
+		seen[w.Launch.Seed] = w.Kernel
+	}
+}
+
+func TestStructuralCharacters(t *testing.T) {
+	// Spot-check that each synthetic kernel has the structural features
+	// its Table II original is known for.
+	mixOf := func(k string) isa.StaticMix {
+		w, err := ByKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Launch.Program.Mix()
+	}
+	if m := mixOf("aesEncrypt128"); m.Barriers < 1 || m.SharedMem < 4 {
+		t.Errorf("AES lacks its shared-memory rounds: %+v", m)
+	}
+	if m := mixOf("kernel"); m.Barriers != 0 || m.Branches < 2 {
+		t.Errorf("BFS should be barrier-free and branchy: %+v", m)
+	}
+	if m := mixOf("cenergy"); m.SFU < 1 || m.GlobalMem > 1 {
+		t.Errorf("CP should be compute-bound with SFU: %+v", m)
+	}
+	if m := mixOf("calculate_temp"); m.Barriers < 3 {
+		t.Errorf("hotspot needs its per-iteration barriers: %+v", m)
+	}
+	if m := mixOf("scalarProdGPU"); m.Barriers < 3 {
+		t.Errorf("scalarProd needs its reduction barriers: %+v", m)
+	}
+	if m := mixOf("inverseCNDKernel"); m.SFU < 2 {
+		t.Errorf("inverseCND should be SFU-heavy: %+v", m)
+	}
+	// Warp-level divergence sources: kernels whose originals are known
+	// for uneven warp runtimes must carry imbalanced loops.
+	for _, k := range []string{"render", "findK", "findRageK", "scalarProdGPU", "sha1_overlap"} {
+		w, err := ByKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imb := false
+		for _, l := range w.Launch.Program.Loops {
+			if l.Imb != isa.ImbNone {
+				imb = true
+			}
+		}
+		if !imb {
+			t.Errorf("%s lacks trip-count imbalance", k)
+		}
+	}
+}
+
+func TestByKernelAndByApp(t *testing.T) {
+	if _, err := ByKernel("no-such-kernel"); err == nil {
+		t.Fatal("ByKernel accepted a bogus name")
+	}
+	w, err := ByKernel("render")
+	if err != nil || w.App != "RAY" {
+		t.Fatalf("ByKernel(render) = %v, %v", w, err)
+	}
+	nn := ByApp("NN")
+	if len(nn) != 4 {
+		t.Fatalf("ByApp(NN) has %d kernels, want 4", len(nn))
+	}
+}
+
+func TestShrunk(t *testing.T) {
+	w, _ := ByKernel("findK")
+	s := w.Shrunk(10)
+	if s.Launch.GridTBs != 10 {
+		t.Fatalf("Shrunk grid = %d", s.Launch.GridTBs)
+	}
+	if w.Launch.GridTBs == 10 {
+		t.Fatal("Shrunk mutated the original")
+	}
+	tiny := w.Shrunk(1 << 30)
+	if tiny.Launch.GridTBs != w.Launch.GridTBs {
+		t.Fatal("Shrunk grew the grid")
+	}
+}
+
+func TestProgramsValidateStandalone(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Launch.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Kernel, err)
+		}
+	}
+}
+
+func TestProgramsSurviveTextRoundTrip(t *testing.T) {
+	// Every Table II program must format to text and parse back to an
+	// identical program — the text format covers the whole suite.
+	for _, w := range All() {
+		text := isa.Format(w.Launch.Program)
+		q, err := isa.Parse(text)
+		if err != nil {
+			t.Errorf("%s: re-parse: %v", w.Kernel, err)
+			continue
+		}
+		if q.Len() != w.Launch.Program.Len() || len(q.Loops) != len(w.Launch.Program.Loops) {
+			t.Errorf("%s: round trip changed program shape", w.Kernel)
+		}
+		for pc := 0; pc < q.Len(); pc++ {
+			if q.At(pc).Op != w.Launch.Program.At(pc).Op {
+				t.Errorf("%s: pc %d opcode changed (%s -> %s)",
+					w.Kernel, pc, w.Launch.Program.At(pc).Op, q.At(pc).Op)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package xrand provides small, fast, deterministic pseudo-random
+// primitives used throughout the simulator.
+//
+// The simulator must be bit-for-bit reproducible across runs and across Go
+// releases, and must be able to derive independent, stateless random values
+// from coordinates such as (kernel, thread block, thread, pc, iteration).
+// math/rand offers neither property conveniently, so we use splitmix64 — a
+// tiny, well-mixed 64-bit finalizer — both as a stream generator and as a
+// stateless hash.
+package xrand
+
+// Splitmix64 advances *state by the splitmix64 increment and returns the
+// next value of the sequence. It is the canonical generator from
+// Steele, Lea & Flood, "Fast Splittable Pseudorandom Number Generators".
+func Splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 mixes x through the splitmix64 finalizer. It is a stateless,
+// high-quality 64-bit hash suitable for deriving per-coordinate randomness.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix2 hashes two coordinates into one value.
+func Mix2(a, b uint64) uint64 {
+	return Hash64(a*0x9e3779b97f4a7c15 ^ Hash64(b))
+}
+
+// Mix3 hashes three coordinates into one value.
+func Mix3(a, b, c uint64) uint64 {
+	return Hash64(Mix2(a, b) ^ Hash64(c)*0xda942042e4dd58b5)
+}
+
+// Mix4 hashes four coordinates into one value.
+func Mix4(a, b, c, d uint64) uint64 {
+	return Hash64(Mix3(a, b, c) ^ Hash64(d)*0xca01f9dd51b11cb3)
+}
+
+// Uniform01 maps a 64-bit hash value to [0,1) with 53-bit resolution.
+func Uniform01(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Below maps h to [0,n). n must be positive.
+func Below(h uint64, n int) int {
+	if n <= 0 {
+		panic("xrand: Below requires positive n")
+	}
+	return int(h % uint64(n))
+}
+
+// RNG is a splitmix64 stream with explicit state, for the few places that
+// want sequential draws rather than coordinate hashing.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 { return Splitmix64(&r.state) }
+
+// Float64 returns a value in [0,1).
+func (r *RNG) Float64() float64 { return Uniform01(r.Next()) }
+
+// Intn returns a value in [0,n). n must be positive.
+func (r *RNG) Intn(n int) int { return Below(r.Next(), n) }

@@ -1,0 +1,134 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitmix64KnownSequence(t *testing.T) {
+	// Reference values for seed 0 from the canonical splitmix64
+	// implementation (Vigna).
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := Splitmix64(&state); got != w {
+			t.Fatalf("Splitmix64 value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(x uint64) bool { return Hash64(x) == Hash64(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64NotIdentity(t *testing.T) {
+	diff := 0
+	for x := uint64(0); x < 1000; x++ {
+		if Hash64(x) != x {
+			diff++
+		}
+	}
+	if diff < 999 {
+		t.Fatalf("Hash64 looks like identity: only %d/1000 values changed", diff)
+	}
+}
+
+func TestMixersDistinguishArguments(t *testing.T) {
+	if Mix2(1, 2) == Mix2(2, 1) {
+		t.Error("Mix2 is symmetric; coordinates must not commute")
+	}
+	if Mix3(1, 2, 3) == Mix3(3, 2, 1) {
+		t.Error("Mix3 is symmetric")
+	}
+	if Mix4(1, 2, 3, 4) == Mix4(4, 3, 2, 1) {
+		t.Error("Mix4 is symmetric")
+	}
+}
+
+func TestUniform01Range(t *testing.T) {
+	f := func(h uint64) bool {
+		u := Uniform01(h)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniform01Coverage(t *testing.T) {
+	// Hashing consecutive integers should spread roughly uniformly:
+	// check decile occupancy.
+	var buckets [10]int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		u := Uniform01(Hash64(uint64(i)))
+		buckets[int(u*10)]++
+	}
+	for d, c := range buckets {
+		if c < n/20 || c > n/5 {
+			t.Errorf("decile %d has %d of %d samples; poor uniformity", d, c, n)
+		}
+	}
+}
+
+func TestBelowRange(t *testing.T) {
+	f := func(h uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		v := Below(h, m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBelowPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Below(h, 0) did not panic")
+		}
+	}()
+	Below(1, 0)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs collided %d/100 times", same)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn(8) hit only %d of 8 values in 1000 draws", len(seen))
+	}
+}

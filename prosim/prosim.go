@@ -1,0 +1,137 @@
+// Package prosim is the public facade of the PRO warp-scheduling
+// reproduction: one import gives access to the GPU configuration, the
+// scheduler registry (LRR, GTO, TL, PRO and PRO ablations), the Table II
+// workload suite and the simulation entry points.
+//
+// Quickstart:
+//
+//	w, _ := prosim.WorkloadByKernel("scalarProdGPU")
+//	base, _ := prosim.RunWorkload(w, "LRR", prosim.Options{})
+//	pro, _ := prosim.RunWorkload(w, "PRO", prosim.Options{})
+//	fmt.Printf("PRO speedup over LRR: %.2fx\n", pro.Speedup(base))
+package prosim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Re-exported types so callers need only this package.
+type (
+	// Config is the simulated GPU hardware description (Table I).
+	Config = config.Config
+	// Launch describes one kernel launch.
+	Launch = engine.Launch
+	// Result is everything one simulated launch produces.
+	Result = stats.KernelResult
+	// Options tune one simulation run.
+	Options = gpu.Options
+	// Workload is one Table II benchmark kernel.
+	Workload = workloads.Workload
+	// Factory builds a scheduling policy for an SM.
+	Factory = engine.Factory
+)
+
+// GTX480 returns the paper's Table I configuration.
+func GTX480() *Config { return config.GTX480() }
+
+// SchedulerNames lists the registered policies in the paper's comparison
+// order.
+func SchedulerNames() []string { return []string{"TL", "LRR", "GTO", "PRO"} }
+
+// Schedulers returns the factory for a named policy. Recognized names:
+// LRR, GTO, TL, PRO, PRO-nobar (the barrier-handling ablation of
+// Sec. IV), PRO-adaptive (the paper's future-work online profiler that
+// toggles barrier handling per SM) and PRO-norm (the Sec. III-A
+// normalized-progress variant).
+func Schedulers(name string) (Factory, error) {
+	switch name {
+	case "LRR":
+		return sched.NewLRR, nil
+	case "GTO":
+		return sched.NewGTO, nil
+	case "TL":
+		return sched.NewTL, nil
+	case "PRO":
+		return core.New(), nil
+	case "PRO-nobar":
+		return core.New(core.WithoutBarrierHandling()), nil
+	case "PRO-adaptive":
+		return core.New(core.WithAdaptiveBarrierHandling(0, 0)), nil
+	case "PRO-norm":
+		return core.New(core.WithNormalizedProgress()), nil
+	case "CAWS-lite":
+		return sched.NewCAWSLite, nil
+	case "OWL-lite":
+		return sched.NewOWLLite, nil
+	default:
+		return nil, fmt.Errorf("prosim: unknown scheduler %q", name)
+	}
+}
+
+// PRO returns a PRO factory with explicit options (threshold, ablations,
+// order tracing).
+func PRO(opts ...core.Option) Factory { return core.New(opts...) }
+
+// Run simulates launch on cfg under the named scheduler.
+func Run(cfg *Config, launch *Launch, scheduler string, opts Options) (*Result, error) {
+	f, err := Schedulers(scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return gpu.Run(cfg, launch, f, opts)
+}
+
+// RunFactory simulates launch under an explicit policy factory.
+func RunFactory(cfg *Config, launch *Launch, f Factory, opts Options) (*Result, error) {
+	return gpu.Run(cfg, launch, f, opts)
+}
+
+// RunWorkload simulates a Table II workload on the GTX480 configuration.
+func RunWorkload(w *Workload, scheduler string, opts Options) (*Result, error) {
+	return Run(GTX480(), w.Launch, scheduler, opts)
+}
+
+// AllWorkloads returns the 25 Table II kernels in paper order.
+func AllWorkloads() []*Workload { return workloads.All() }
+
+// Apps returns the 15 Table III application names in paper order.
+func Apps() []string { return workloads.Apps() }
+
+// WorkloadByKernel looks a workload up by its Table II kernel name.
+func WorkloadByKernel(name string) (*Workload, error) { return workloads.ByKernel(name) }
+
+// WorkloadsByApp returns the kernels of one Table III application.
+func WorkloadsByApp(app string) []*Workload { return workloads.ByApp(app) }
+
+// HardwareCostBytes reports PRO's extra per-SM storage (Sec. III-E).
+func HardwareCostBytes(cfg *Config) int { return core.HardwareCostBytes(cfg) }
+
+// AppResult aggregates an application's kernels (Table III granularity).
+type AppResult = stats.AppResult
+
+// RunApp simulates every kernel of a Table III application back to back
+// under the named scheduler and returns the aggregate (cycles and stall
+// counters summed over kernels, as the paper reports applications).
+func RunApp(app, scheduler string, opts Options) (*AppResult, error) {
+	ws := WorkloadsByApp(app)
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("prosim: unknown application %q", app)
+	}
+	agg := &AppResult{App: app, Scheduler: scheduler}
+	for _, w := range ws {
+		r, err := RunWorkload(w, scheduler, opts)
+		if err != nil {
+			return nil, err
+		}
+		agg.Accumulate(r)
+	}
+	return agg, nil
+}

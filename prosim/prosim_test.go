@@ -1,0 +1,134 @@
+package prosim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/prosim"
+)
+
+func TestSchedulerRegistry(t *testing.T) {
+	for _, name := range append(prosim.SchedulerNames(), "PRO-nobar") {
+		if _, err := prosim.Schedulers(name); err != nil {
+			t.Errorf("Schedulers(%q): %v", name, err)
+		}
+	}
+	if _, err := prosim.Schedulers("nope"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if got := prosim.SchedulerNames(); len(got) != 4 || got[3] != "PRO" {
+		t.Errorf("SchedulerNames = %v", got)
+	}
+}
+
+func TestWorkloadLookups(t *testing.T) {
+	if len(prosim.AllWorkloads()) != 25 {
+		t.Fatal("AllWorkloads != 25")
+	}
+	if len(prosim.Apps()) != 15 {
+		t.Fatal("Apps != 15")
+	}
+	w, err := prosim.WorkloadByKernel("cenergy")
+	if err != nil || w.App != "CP" {
+		t.Fatalf("WorkloadByKernel: %v %v", w, err)
+	}
+	if got := prosim.WorkloadsByApp("histogram"); len(got) != 4 {
+		t.Fatalf("WorkloadsByApp(histogram) = %d", len(got))
+	}
+}
+
+func TestRunWorkloadEndToEnd(t *testing.T) {
+	w, err := prosim.WorkloadByKernel("aesEncrypt128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.Shrunk(14)
+	base, err := prosim.RunWorkload(w, "LRR", prosim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := prosim.RunWorkload(w, "PRO", prosim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles <= 0 || pro.Cycles <= 0 {
+		t.Fatal("zero cycles")
+	}
+	if base.ThreadInstrs != pro.ThreadInstrs {
+		t.Fatal("schedulers disagreed on executed work")
+	}
+	if sp := pro.Speedup(base); sp < 0.5 || sp > 3 {
+		t.Fatalf("implausible speedup %v", sp)
+	}
+}
+
+func TestRunFactoryWithOptions(t *testing.T) {
+	w, err := prosim.WorkloadByKernel("scalarProdGPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.Shrunk(10)
+	r, err := prosim.RunFactory(prosim.GTX480(), w.Launch,
+		prosim.PRO(core.WithThreshold(500), core.WithOrderTrace()), prosim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.OrderTrace) == 0 {
+		t.Fatal("order trace not recorded")
+	}
+}
+
+func TestHardwareCost(t *testing.T) {
+	if got := prosim.HardwareCostBytes(prosim.GTX480()); got != 240 {
+		t.Fatalf("HardwareCostBytes = %d, want the paper's 240", got)
+	}
+}
+
+func TestRunAppAggregates(t *testing.T) {
+	// MonteCarlo has two kernels; the aggregate must sum both. Shrink is
+	// not available through RunApp, so pick the app with small grids.
+	agg, err := prosim.RunApp("MonteCarlo", "LRR", prosim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Kernels != 2 {
+		t.Fatalf("aggregated %d kernels, want 2", agg.Kernels)
+	}
+	if agg.Cycles <= 0 || agg.Stalls.Total() <= 0 {
+		t.Fatal("empty aggregate")
+	}
+	if _, err := prosim.RunApp("NoSuchApp", "LRR", prosim.Options{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRelatedWorkSchedulers(t *testing.T) {
+	w, err := prosim.WorkloadByKernel("cenergy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.Shrunk(14)
+	ref, err := prosim.RunWorkload(w, "LRR", prosim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"CAWS-lite", "OWL-lite"} {
+		r, err := prosim.RunWorkload(w, name, prosim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Scheduler != name {
+			t.Fatalf("Scheduler = %q, want %q", r.Scheduler, name)
+		}
+		if r.ThreadInstrs != ref.ThreadInstrs {
+			t.Fatalf("%s: work not conserved", name)
+		}
+	}
+}
+
+func TestRunRejectsBadScheduler(t *testing.T) {
+	w, _ := prosim.WorkloadByKernel("cenergy")
+	if _, err := prosim.Run(prosim.GTX480(), w.Launch, "XX", prosim.Options{}); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+}
