@@ -1,0 +1,33 @@
+# Developer / CI entry points. `make check` is the gate every change
+# must pass: go vet plus the full test suite under the race detector —
+# load-bearing now that the job engine fans simulations across a worker
+# pool.
+
+GO ?= go
+
+.PHONY: build test vet race check bench report papercheck
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# Regenerate every paper artifact into results/ using all cores and a
+# local result cache (warm re-runs are nearly instant).
+report:
+	$(GO) run ./cmd/report -out results -cache .simcache
+
+papercheck:
+	$(GO) run ./cmd/papercheck -cache .simcache

@@ -112,7 +112,7 @@ func BenchmarkFig2Timeline(b *testing.B) {
 		b.Run(sched, func(b *testing.B) {
 			var spread int64
 			for i := 0; i < b.N; i++ {
-				spans, _, err := experiments.Timeline(aes, sched, 0)
+				spans, _, err := experiments.Timeline(aes, sched, 0, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -189,7 +189,7 @@ func BenchmarkTableIVTBOrder(b *testing.B) {
 	aes = aes.Shrunk(128)
 	var changes, samples int
 	for i := 0; i < b.N; i++ {
-		trace, err := experiments.OrderTrace(aes, 0)
+		trace, err := experiments.OrderTrace(aes, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

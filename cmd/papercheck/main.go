@@ -21,18 +21,25 @@
 //
 // Usage:
 //
-//	papercheck              # full grids (several minutes)
-//	papercheck -maxtbs 60   # quick pass (~a minute)
+//	papercheck                  # full grids, all cores
+//	papercheck -maxtbs 60       # quick pass
+//	papercheck -cache .simcache # memoize runs; warm re-checks are instant
+//
+// Progress goes to stderr; stdout carries only the PASS/FAIL report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -52,6 +59,8 @@ func check(id, claim string, ok bool, detail string) {
 func main() {
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
 	quiet := flag.Bool("quiet", true, "suppress per-run progress")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	flag.Parse()
 
 	if *maxTBs > 0 {
@@ -60,13 +69,18 @@ func main() {
 		fmt.Println("for the authoritative check.")
 		fmt.Println()
 	}
-	progress := func(kernel, sched string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s / %s\n", kernel, sched)
-		}
+	start := time.Now()
+	var progress func(jobs.Event)
+	if !*quiet {
+		progress = jobs.PrintProgress(os.Stderr)
+	}
+	eng, err := jobs.New(*njobs, *cacheDir, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "papercheck:", err)
+		os.Exit(1)
 	}
 	suite, err := experiments.RunSuite(workloads.All(),
-		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, progress)
+		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, eng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "papercheck:", err)
 		os.Exit(1)
@@ -118,7 +132,7 @@ func main() {
 	}
 	batch := aes.Launch.ResidentTBs(config.GTX480())
 	spreadOf := func(sched string) int64 {
-		spans, _, err := experiments.Timeline(aes, sched, 0)
+		spans, _, err := experiments.Timeline(aes, sched, 0, eng)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "papercheck:", err)
 			os.Exit(1)
@@ -130,7 +144,7 @@ func main() {
 		proSpread > lrrSpread,
 		fmt.Sprintf("finish spread LRR %d vs PRO %d cycles", lrrSpread, proSpread))
 
-	trace, err := experiments.OrderTrace(aes, 0)
+	trace, err := experiments.OrderTrace(aes, 0, eng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "papercheck:", err)
 		os.Exit(1)
@@ -152,16 +166,13 @@ func main() {
 	if *maxTBs > 0 {
 		sp = sp.Shrunk(*maxTBs)
 	}
-	on, err := prosim.RunWorkload(sp, "PRO", prosim.Options{})
+	ablation, err := eng.Run(context.Background(),
+		jobs.Grid([]*workloads.Workload{sp}, []string{"PRO", "PRO-nobar"}, 0, prosim.Options{}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "papercheck:", err)
 		os.Exit(1)
 	}
-	off, err := prosim.RunWorkload(sp, "PRO-nobar", prosim.Options{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "papercheck:", err)
-		os.Exit(1)
-	}
+	on, off := ablation[0], ablation[1]
 	check("C11", "scalarProd prefers barrier handling off (Sec. IV)",
 		off.Cycles < on.Cycles,
 		fmt.Sprintf("PRO %d vs PRO-nobar %d cycles", on.Cycles, off.Cycles))
@@ -169,6 +180,9 @@ func main() {
 	check("C12", "hardware cost is 240 bytes/SM (Sec. III-E)",
 		core.HardwareCostBytes(config.GTX480()) == 240,
 		fmt.Sprintf("%d bytes", core.HardwareCostBytes(config.GTX480())))
+
+	fmt.Fprintf(os.Stderr, "papercheck completed in %.1fs (%d jobs: %d simulated, %d cache hits)\n",
+		time.Since(start).Seconds(), eng.Completed(), eng.Simulated(), eng.Replayed())
 
 	if failures > 0 {
 		fmt.Printf("\n%d claim(s) FAILED\n", failures)

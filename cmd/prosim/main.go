@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/isa"
@@ -28,6 +30,9 @@ func main() {
 	all := flag.Bool("all", false, "run every Table II kernel")
 	list := flag.Bool("list", false, "list workloads and exit")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	quiet := flag.Bool("quiet", true, "suppress per-run progress (stderr)")
 	div := flag.Bool("div", false, "also print warp-level-divergence metrics (finish disparity, barrier wait)")
 	program := flag.String("program", "", "path to a kernel in the text format (overrides -kernel/-all)")
 	grid := flag.Int("grid", 128, "grid size in TBs for -program")
@@ -83,23 +88,34 @@ func main() {
 	}
 
 	names := strings.Split(*scheds, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+
+	var progress func(prosim.JobEvent)
+	if !*quiet {
+		progress = prosimProgress(os.Stderr)
+	}
+	eng, err := prosim.NewJobEngine(*njobs, *cacheDir, progress)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := prosim.RunJobs(context.Background(), eng,
+		prosim.WorkloadJobs(targets, names, *maxTBs, prosim.Options{}))
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("%-28s %-9s %12s %8s %12s %12s %12s %8s",
 		"KERNEL", "SCHED", "CYCLES", "IPC", "IDLE", "SCOREBOARD", "PIPELINE", "L1MISS")
 	if *div {
 		fmt.Printf(" %10s %10s", "WDISP", "BARWAIT")
 	}
 	fmt.Println()
-	for _, w := range targets {
-		if *maxTBs > 0 {
-			w = w.Shrunk(*maxTBs)
-		}
+	for wi, w := range targets {
 		var baseCycles int64
-		for i, name := range names {
-			name = strings.TrimSpace(name)
-			r, err := prosim.RunWorkload(w, name, prosim.Options{})
-			if err != nil {
-				fatal(err)
-			}
+		for i := range names {
+			r := results[wi*len(names)+i]
 			speed := ""
 			if i == 0 {
 				baseCycles = r.Cycles
@@ -115,6 +131,14 @@ func main() {
 			}
 			fmt.Println(speed)
 		}
+	}
+}
+
+// prosimProgress renders job-engine events on w, one line each.
+func prosimProgress(w *os.File) func(prosim.JobEvent) {
+	return func(ev prosim.JobEvent) {
+		fmt.Fprintf(w, "[%7.1fs] %3d/%d %s/%s\n",
+			ev.Elapsed.Seconds(), ev.Done, ev.Total, ev.Kernel, ev.Scheduler)
 	}
 }
 

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	report                 # full scaled grids (several minutes)
+//	report                 # full scaled grids, all cores
 //	report -maxtbs 100     # quick pass
 //	report -out results    # also write each artifact to results/
+//	report -jobs 1         # serial (bit-identical to the parallel run)
+//	report -cache .simcache  # memoize results; warm re-runs are instant
+//
+// Progress and timing go to stderr; stdout carries only the artifacts.
 package main
 
 import (
@@ -15,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/viz"
 	"repro/internal/workloads"
 )
@@ -26,6 +32,8 @@ func main() {
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
 	outDir := flag.String("out", "", "directory to write artifact files into (optional)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional; makes warm re-runs instant)")
 	flag.Parse()
 
 	emit := func(name, content string) {
@@ -41,14 +49,17 @@ func main() {
 	}
 
 	start := time.Now()
-	progress := func(kernel, sched string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%7.1fs] %s / %s\n", time.Since(start).Seconds(), kernel, sched)
-		}
+	var progress func(jobs.Event)
+	if !*quiet {
+		progress = jobs.PrintProgress(os.Stderr)
+	}
+	eng, err := jobs.New(*njobs, *cacheDir, progress)
+	if err != nil {
+		fatal(err)
 	}
 
 	suite, err := experiments.RunSuite(workloads.All(),
-		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, progress)
+		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, eng)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +126,7 @@ func main() {
 		aes = aes.Shrunk(*maxTBs)
 	}
 	for _, sched := range []string{"LRR", "PRO"} {
-		spans, r, err := experiments.Timeline(aes, sched, 0)
+		spans, r, err := experiments.Timeline(aes, sched, 0, eng)
 		if err != nil {
 			fatal(err)
 		}
@@ -126,13 +137,14 @@ func main() {
 
 	// Table IV: AES under PRO with order tracing, first batch of TBs on
 	// SM 0 (the paper shows 16 samples for its first batch of 6 TBs).
-	samples, err := experiments.OrderTrace(aes, 0)
+	samples, err := experiments.OrderTrace(aes, 0, eng)
 	if err != nil {
 		fatal(err)
 	}
 	emit("table4.txt", experiments.FormatOrderTrace(samples, 16))
 
-	fmt.Fprintf(os.Stderr, "report completed in %.1fs\n", time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "report completed in %.1fs (%d jobs: %d simulated, %d cache hits)\n",
+		time.Since(start).Seconds(), eng.Completed(), eng.Simulated(), eng.Replayed())
 }
 
 func fatal(err error) {

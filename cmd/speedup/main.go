@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/workloads"
 )
 
@@ -21,6 +23,8 @@ func main() {
 	app := flag.String("app", "", "restrict to one application (Table III name)")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
 	quiet := flag.Bool("quiet", false, "suppress progress")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	flag.Parse()
 
 	ws := workloads.All()
@@ -31,12 +35,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	progress := func(kernel, sched string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s / %s\n", kernel, sched)
-		}
+	var progress func(jobs.Event)
+	if !*quiet {
+		progress = jobs.PrintProgress(os.Stderr)
 	}
-	suite, err := experiments.RunSuite(ws, []string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, progress)
+	eng, err := jobs.New(*njobs, *cacheDir, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
+	suite, err := experiments.RunSuite(ws, []string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, eng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(1)

@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/workloads"
 )
 
@@ -26,6 +28,8 @@ func main() {
 	fig5 := flag.Bool("fig5", false, "emit Fig. 5")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
 	quiet := flag.Bool("quiet", false, "suppress progress")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	flag.Parse()
 
 	if !*fig1 && !*table3 && !*fig5 {
@@ -35,12 +39,16 @@ func main() {
 	if *table3 || *fig5 {
 		scheds = append(scheds, "PRO")
 	}
-	progress := func(kernel, sched string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s / %s\n", kernel, sched)
-		}
+	var progress func(jobs.Event)
+	if !*quiet {
+		progress = jobs.PrintProgress(os.Stderr)
 	}
-	suite, err := experiments.RunSuite(workloads.All(), scheds, *maxTBs, progress)
+	eng, err := jobs.New(*njobs, *cacheDir, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stalls:", err)
+		os.Exit(1)
+	}
+	suite, err := experiments.RunSuite(workloads.All(), scheds, *maxTBs, eng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stalls:", err)
 		os.Exit(1)

@@ -5,37 +5,64 @@
 //     disabled — the motivation for the paper's future-work profiling.
 //   - -threshold: sensitivity of PRO to the re-sort THRESHOLD
 //     (Sec. III-C.1 uses 1000 cycles).
+//   - -variants: PRO against the paper's future-work variants.
+//   - -l1: L1 capacity sensitivity under LRR and PRO.
+//
+// All points of a sweep run in parallel across -jobs workers; -cache DIR
+// memoizes every point so re-sweeping with one more kernel only
+// simulates the new points. Progress goes to stderr; stdout carries only
+// the tables.
 //
 // Usage:
 //
 //	sweep -ablate
 //	sweep -threshold -kernel aesEncrypt128
+//	sweep -cache .simcache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
 )
+
+var eng *jobs.Engine
 
 func main() {
 	ablate := flag.Bool("ablate", false, "compare PRO vs PRO-nobar (barrier-handling ablation)")
 	variants := flag.Bool("variants", false, "compare PRO against the paper's future-work variants (PRO-adaptive, PRO-norm)")
 	threshold := flag.Bool("threshold", false, "sweep the PRO re-sort threshold")
-	cacheSweep := flag.Bool("cache", false, "sweep the L1 size (paper future work: cache behaviour of prioritized warps)")
+	l1Sweep := flag.Bool("l1", false, "sweep the L1 size (paper future work: cache behaviour of prioritized warps)")
 	kernels := flag.String("kernel", "scalarProdGPU,MonteCarloOneBlockPerOption,calculate_temp,aesEncrypt128",
 		"comma-separated kernels to sweep")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids (0 = full)")
+	quiet := flag.Bool("quiet", false, "suppress progress")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	flag.Parse()
 
-	if !*ablate && !*threshold && !*variants && !*cacheSweep {
-		*ablate, *threshold, *variants, *cacheSweep = true, true, true, true
+	if !*ablate && !*threshold && !*variants && !*l1Sweep {
+		*ablate, *threshold, *variants, *l1Sweep = true, true, true, true
 	}
+	var progress func(jobs.Event)
+	if !*quiet {
+		progress = jobs.PrintProgress(os.Stderr)
+	}
+	var err error
+	eng, err = jobs.New(*njobs, *cacheDir, progress)
+	if err != nil {
+		fatal(err)
+	}
+
 	var targets []*prosim.Workload
 	for _, name := range strings.Split(*kernels, ",") {
 		w, err := workloads.ByKernel(strings.TrimSpace(name))
@@ -49,104 +76,137 @@ func main() {
 	}
 
 	if *ablate {
-		fmt.Println("Ablation — PRO barrier handling (Sec. IV: scalarProd gains when disabled)")
-		fmt.Printf("%-28s %12s %12s %10s\n", "KERNEL", "PRO", "PRO-nobar", "nobar/PRO")
-		for _, w := range targets {
-			on, err := prosim.RunWorkload(w, "PRO", prosim.Options{})
-			if err != nil {
-				fatal(err)
-			}
-			off, err := prosim.RunWorkload(w, "PRO-nobar", prosim.Options{})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%-28s %12d %12d %9.3fx\n", w.Kernel, on.Cycles, off.Cycles,
-				float64(on.Cycles)/float64(off.Cycles))
-		}
-		fmt.Println()
+		runAblation(targets)
 	}
-
 	if *variants {
-		names := []string{"PRO", "PRO-nobar", "PRO-adaptive", "PRO-norm"}
-		fmt.Println("Future-work variants (Sec. IV profiling, Sec. III-A normalized progress)")
-		fmt.Printf("%-28s", "KERNEL")
-		for _, n := range names {
-			fmt.Printf(" %13s", n)
-		}
-		fmt.Println()
-		for _, w := range targets {
-			fmt.Printf("%-28s", w.Kernel)
-			for _, n := range names {
-				r, err := prosim.RunWorkload(w, n, prosim.Options{})
-				if err != nil {
-					fatal(err)
-				}
-				fmt.Printf(" %13d", r.Cycles)
-			}
-			fmt.Println()
-		}
-		fmt.Println()
+		runVariants(targets)
 	}
-
-	if *cacheSweep {
-		runCacheSweep(targets)
+	if *l1Sweep {
+		runL1Sweep(targets)
 	}
-
 	if *threshold {
-		thresholds := []int64{250, 500, 1000, 2000, 4000}
-		fmt.Println("Ablation — PRO re-sort THRESHOLD (paper uses 1000 cycles)")
-		fmt.Printf("%-28s", "KERNEL")
-		for _, th := range thresholds {
-			fmt.Printf(" %9d", th)
-		}
-		fmt.Println()
-		for _, w := range targets {
-			fmt.Printf("%-28s", w.Kernel)
-			for _, th := range thresholds {
-				r, err := prosim.RunFactory(prosim.GTX480(), w.Launch,
-					prosim.PRO(core.WithThreshold(th)), prosim.Options{})
-				if err != nil {
-					fatal(err)
-				}
-				fmt.Printf(" %9d", r.Cycles)
-			}
-			fmt.Println()
-		}
+		runThresholdSweep(targets)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+// run executes a batch through the shared engine.
+func run(batch []jobs.Job) []*stats.KernelResult {
+	rs, err := eng.Run(context.Background(), batch)
+	if err != nil {
+		fatal(err)
+	}
+	return rs
 }
 
-// runCacheSweep sweeps the per-SM L1 capacity for the given workloads
-// under LRR and PRO, printing cycles and L1 miss rate at each point.
-// The paper's future work targets "improving cache and memory
-// performance of high priority warps"; this sweep shows how much
-// headroom the L1 leaves on each kernel.
-func runCacheSweep(targets []*prosim.Workload) {
+// runAblation compares PRO against PRO-nobar per kernel (Sec. IV).
+func runAblation(targets []*prosim.Workload) {
+	rs := run(jobs.Grid(targets, []string{"PRO", "PRO-nobar"}, 0, prosim.Options{}))
+	fmt.Println("Ablation — PRO barrier handling (Sec. IV: scalarProd gains when disabled)")
+	fmt.Printf("%-28s %12s %12s %10s\n", "KERNEL", "PRO", "PRO-nobar", "nobar/PRO")
+	for i, w := range targets {
+		on, off := rs[2*i], rs[2*i+1]
+		fmt.Printf("%-28s %12d %12d %9.3fx\n", w.Kernel, on.Cycles, off.Cycles,
+			float64(on.Cycles)/float64(off.Cycles))
+	}
+	fmt.Println()
+}
+
+// runVariants compares PRO against the future-work variants.
+func runVariants(targets []*prosim.Workload) {
+	names := []string{"PRO", "PRO-nobar", "PRO-adaptive", "PRO-norm"}
+	rs := run(jobs.Grid(targets, names, 0, prosim.Options{}))
+	fmt.Println("Future-work variants (Sec. IV profiling, Sec. III-A normalized progress)")
+	fmt.Printf("%-28s", "KERNEL")
+	for _, n := range names {
+		fmt.Printf(" %13s", n)
+	}
+	fmt.Println()
+	for i, w := range targets {
+		fmt.Printf("%-28s", w.Kernel)
+		for k := range names {
+			fmt.Printf(" %13d", rs[i*len(names)+k].Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// runThresholdSweep sweeps the PRO re-sort threshold per kernel.
+func runThresholdSweep(targets []*prosim.Workload) {
+	thresholds := []int64{250, 500, 1000, 2000, 4000}
+	var batch []jobs.Job
+	for _, w := range targets {
+		for _, th := range thresholds {
+			batch = append(batch, jobs.Job{
+				Launch:     w.Launch,
+				Kernel:     w.Kernel,
+				Factory:    prosim.PRO(core.WithThreshold(th)),
+				FactoryKey: fmt.Sprintf("PRO+threshold=%d", th),
+			})
+		}
+	}
+	rs := run(batch)
+	fmt.Println("Ablation — PRO re-sort THRESHOLD (paper uses 1000 cycles)")
+	fmt.Printf("%-28s", "KERNEL")
+	for _, th := range thresholds {
+		fmt.Printf(" %9d", th)
+	}
+	fmt.Println()
+	for i, w := range targets {
+		fmt.Printf("%-28s", w.Kernel)
+		for k := range thresholds {
+			fmt.Printf(" %9d", rs[i*len(thresholds)+k].Cycles)
+		}
+		fmt.Println()
+	}
+}
+
+// runL1Sweep sweeps the per-SM L1 capacity for the given workloads under
+// LRR and PRO, printing cycles and L1 miss rate at each point. The
+// paper's future work targets "improving cache and memory performance of
+// high priority warps"; this sweep shows how much headroom the L1 leaves
+// on each kernel.
+func runL1Sweep(targets []*prosim.Workload) {
 	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	scheds := []string{"LRR", "PRO"}
+	var batch []jobs.Job
+	for _, w := range targets {
+		for _, sched := range scheds {
+			for _, size := range sizes {
+				cfg := prosim.GTX480()
+				cfg.L1Size = size
+				batch = append(batch, jobs.Job{
+					Config:    cfg,
+					Launch:    w.Launch,
+					Kernel:    w.Kernel,
+					Scheduler: sched,
+				})
+			}
+		}
+	}
+	rs := run(batch)
 	fmt.Println("Sensitivity — L1 capacity (cycles @ L1 miss rate)")
 	fmt.Printf("%-28s %-5s", "KERNEL", "SCHED")
 	for _, s := range sizes {
 		fmt.Printf(" %16s", fmt.Sprintf("L1=%dKB", s>>10))
 	}
 	fmt.Println()
+	i := 0
 	for _, w := range targets {
-		for _, sched := range []string{"LRR", "PRO"} {
+		for _, sched := range scheds {
 			fmt.Printf("%-28s %-5s", w.Kernel, sched)
-			for _, size := range sizes {
-				cfg := prosim.GTX480()
-				cfg.L1Size = size
-				r, err := prosim.Run(cfg, w.Launch, sched, prosim.Options{})
-				if err != nil {
-					fatal(err)
-				}
+			for range sizes {
+				r := rs[i]
+				i++
 				fmt.Printf(" %10d@%4.1f%%", r.Cycles, 100*r.Mem.L1MissRate())
 			}
 			fmt.Println()
 		}
 	}
 	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/workloads"
 )
 
@@ -22,6 +23,8 @@ func main() {
 	threshold := flag.Int64("threshold", 0, "PRO re-sort threshold in cycles (0 = paper default 1000)")
 	rows := flag.Int("rows", 16, "max sample rows to print (0 = all)")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grid (0 = full)")
+	njobs := flag.Int("jobs", 1, "parallel simulation workers (a trace is one job)")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	flag.Parse()
 
 	w, err := workloads.ByKernel(*kernel)
@@ -31,7 +34,11 @@ func main() {
 	if *maxTBs > 0 {
 		w = w.Shrunk(*maxTBs)
 	}
-	samples, err := experiments.OrderTrace(w, *threshold)
+	eng, err := jobs.New(*njobs, *cacheDir, nil)
+	if err != nil {
+		fatal(err)
+	}
+	samples, err := experiments.OrderTrace(w, *threshold, eng)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/jobs"
 	"repro/internal/workloads"
 	"repro/prosim"
 )
@@ -24,6 +26,8 @@ func main() {
 	sched := flag.String("sched", "PRO", "scheduler")
 	every := flag.Int64("every", 1000, "sampling window in cycles")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grid (0 = full)")
+	njobs := flag.Int("jobs", 1, "parallel simulation workers (a trace is one job)")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	flag.Parse()
 
 	w, err := workloads.ByKernel(*kernel)
@@ -33,7 +37,16 @@ func main() {
 	if *maxTBs > 0 {
 		w = w.Shrunk(*maxTBs)
 	}
-	r, err := prosim.RunWorkload(w, *sched, prosim.Options{SampleEvery: *every})
+	eng, err := jobs.New(*njobs, *cacheDir, nil)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := eng.RunOne(context.Background(), jobs.Job{
+		Launch:    w.Launch,
+		Kernel:    w.Kernel,
+		Scheduler: *sched,
+		Options:   prosim.Options{SampleEvery: *every},
+	})
 	if err != nil {
 		fatal(err)
 	}

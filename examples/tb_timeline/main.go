@@ -27,7 +27,7 @@ func main() {
 	batch := w.Launch.ResidentTBs(cfg)
 
 	for _, sched := range []string{"LRR", "PRO"} {
-		spans, r, err := experiments.Timeline(w, sched, 0)
+		spans, r, err := experiments.Timeline(w, sched, 0, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,8 +7,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/gpu"
+	"repro/internal/jobs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -26,26 +29,26 @@ type Suite struct {
 }
 
 // RunSuite simulates every workload in ws under every named scheduler on
-// the GTX480 configuration. maxTBs > 0 shrinks grids (for quick runs and
-// benches); 0 runs the full scaled grids. progress, when non-nil, is
-// called before each simulation.
-func RunSuite(ws []*workloads.Workload, scheds []string, maxTBs int, progress func(kernel, sched string)) (*Suite, error) {
+// the GTX480 configuration through the parallel job engine. maxTBs > 0
+// shrinks grids (for quick runs and benches); 0 runs the full scaled
+// grids. eng controls parallelism, caching and progress reporting; nil
+// uses a default engine (one worker per core, no cache). The simulator
+// is deterministic and results are assembled in job order, so the Suite
+// contents do not depend on the worker count.
+func RunSuite(ws []*workloads.Workload, scheds []string, maxTBs int, eng *jobs.Engine) (*Suite, error) {
+	if eng == nil {
+		eng = &jobs.Engine{}
+	}
+	batch := jobs.Grid(ws, scheds, maxTBs, gpu.Options{})
+	results, err := eng.Run(context.Background(), batch)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	s := &Suite{Kernels: make(map[string]map[string]*stats.KernelResult), Order: ws}
-	for _, w := range ws {
-		run := w
-		if maxTBs > 0 {
-			run = w.Shrunk(maxTBs)
-		}
+	for i, w := range ws {
 		byName := make(map[string]*stats.KernelResult, len(scheds))
-		for _, sched := range scheds {
-			if progress != nil {
-				progress(w.Kernel, sched)
-			}
-			r, err := prosim.RunWorkload(run, sched, prosim.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", w.Kernel, sched, err)
-			}
-			byName[sched] = r
+		for k, sched := range scheds {
+			byName[sched] = results[i*len(scheds)+k]
 		}
 		s.Kernels[w.Kernel] = byName
 	}
@@ -221,9 +224,18 @@ func (s *Suite) ComputeTable3() *Table3 {
 // ---- Fig. 2: thread-block timelines ----
 
 // Timeline runs one workload under one scheduler with span recording and
-// returns the spans for a single SM (the paper plots SM 0).
-func Timeline(w *workloads.Workload, sched string, smID int) ([]stats.TBSpan, *stats.KernelResult, error) {
-	r, err := prosim.RunWorkload(w, sched, prosim.Options{Timeline: true})
+// returns the spans for a single SM (the paper plots SM 0). eng may be
+// nil (direct run, no cache).
+func Timeline(w *workloads.Workload, sched string, smID int, eng *jobs.Engine) ([]stats.TBSpan, *stats.KernelResult, error) {
+	if eng == nil {
+		eng = &jobs.Engine{}
+	}
+	r, err := eng.RunOne(context.Background(), jobs.Job{
+		Launch:    w.Launch,
+		Kernel:    w.Kernel,
+		Scheduler: sched,
+		Options:   prosim.Options{Timeline: true},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,10 +251,21 @@ func Timeline(w *workloads.Workload, sched string, smID int) ([]stats.TBSpan, *s
 // ---- Table IV: PRO's sorted TB order over time ----
 
 // OrderTrace runs w under PRO with order tracing and returns the SM-0
-// samples.
-func OrderTrace(w *workloads.Workload, threshold int64) ([]stats.OrderSample, error) {
-	f := prosim.PRO(proTraceOptions(threshold)...)
-	r, err := prosim.RunFactory(prosim.GTX480(), w.Launch, f, prosim.Options{})
+// samples. eng may be nil (direct run, no cache).
+func OrderTrace(w *workloads.Workload, threshold int64, eng *jobs.Engine) ([]stats.OrderSample, error) {
+	if eng == nil {
+		eng = &jobs.Engine{}
+	}
+	key := "PRO+ordertrace+threshold=default"
+	if threshold > 0 {
+		key = fmt.Sprintf("PRO+ordertrace+threshold=%d", threshold)
+	}
+	r, err := eng.RunOne(context.Background(), jobs.Job{
+		Launch:     w.Launch,
+		Kernel:     w.Kernel,
+		Factory:    prosim.PRO(proTraceOptions(threshold)...),
+		FactoryKey: key,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -103,7 +103,7 @@ func TestTimelineAndTrace(t *testing.T) {
 	}
 	w = w.Shrunk(30)
 
-	spans, r, err := Timeline(w, "LRR", 0)
+	spans, r, err := Timeline(w, "LRR", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestTimelineAndTrace(t *testing.T) {
 		t.Error("timeline text empty")
 	}
 
-	samples, err := OrderTrace(w, 500)
+	samples, err := OrderTrace(w, 500, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/resultcache"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+	"repro/prosim"
+)
+
+// equivKernels is the shrunk grid for the parallel-vs-serial
+// equivalence tests: a multi-kernel, multi-app slice of Table II.
+func equivKernels(t *testing.T) []*workloads.Workload {
+	t.Helper()
+	var ws []*workloads.Workload
+	for _, k := range []string{"aesEncrypt128", "scalarProdGPU", "calculate_temp"} {
+		w, err := workloads.ByKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w.Shrunk(16))
+	}
+	return ws
+}
+
+var equivScheds = []string{"TL", "LRR", "GTO", "PRO"}
+
+// serialReference reproduces the pre-engine serial loop verbatim: one
+// prosim.RunWorkload per (workload, scheduler) in suite order.
+func serialReference(t *testing.T, ws []*workloads.Workload) *Suite {
+	t.Helper()
+	s := &Suite{Kernels: make(map[string]map[string]*stats.KernelResult), Order: ws}
+	for _, w := range ws {
+		byName := make(map[string]*stats.KernelResult, len(equivScheds))
+		for _, sched := range equivScheds {
+			r, err := prosim.RunWorkload(w, sched, prosim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			byName[sched] = r
+		}
+		s.Kernels[w.Kernel] = byName
+	}
+	return s
+}
+
+// mustJSON marshals v; map keys sort, so equal contents give equal bytes.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParallelSuiteMatchesSerialByteForByte(t *testing.T) {
+	ws := equivKernels(t)
+	serial := serialReference(t, ws)
+	parallel, err := RunSuite(ws, equivScheds, 0, &jobs.Engine{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := mustJSON(t, parallel), mustJSON(t, serial); string(got) != string(want) {
+		t.Fatal("parallel Suite is not byte-identical to the serial path")
+	}
+	if got, want := mustJSON(t, parallel.ComputeFig4()), mustJSON(t, serial.ComputeFig4()); string(got) != string(want) {
+		t.Fatal("ComputeFig4 differs between parallel and serial suites")
+	}
+	if got, want := mustJSON(t, parallel.ComputeTable3()), mustJSON(t, serial.ComputeTable3()); string(got) != string(want) {
+		t.Fatal("ComputeTable3 differs between parallel and serial suites")
+	}
+	if got, want := FormatFig4(parallel.ComputeFig4()), FormatFig4(serial.ComputeFig4()); got != want {
+		t.Fatal("formatted Fig. 4 differs between parallel and serial suites")
+	}
+	if got, want := FormatTable3(parallel.ComputeTable3()), FormatTable3(serial.ComputeTable3()); got != want {
+		t.Fatal("formatted Table III differs between parallel and serial suites")
+	}
+}
+
+func TestWarmCacheSuiteMatchesAndSkipsSimulation(t *testing.T) {
+	ws := equivKernels(t)
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &jobs.Engine{Workers: 4, Cache: cache}
+	cold, err := RunSuite(ws, equivScheds, 0, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Simulated() != int64(len(ws)*len(equivScheds)) {
+		t.Fatalf("cold run simulated %d jobs, want %d", eng.Simulated(), len(ws)*len(equivScheds))
+	}
+
+	warm, err := RunSuite(ws, equivScheds, 0, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Simulated() != int64(len(ws)*len(equivScheds)) {
+		t.Fatalf("warm run performed %d extra simulations, want 0",
+			eng.Simulated()-int64(len(ws)*len(equivScheds)))
+	}
+	if eng.Replayed() != int64(len(ws)*len(equivScheds)) {
+		t.Fatalf("warm run replayed %d results, want all %d", eng.Replayed(), len(ws)*len(equivScheds))
+	}
+	if got, want := mustJSON(t, warm), mustJSON(t, cold); string(got) != string(want) {
+		t.Fatal("warm-cache Suite is not byte-identical to the cold run")
+	}
+}

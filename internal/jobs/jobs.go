@@ -1,0 +1,370 @@
+// Package jobs is the parallel simulation job engine. Every evaluation
+// harness in the repository — cmd/report, cmd/papercheck, cmd/sweep,
+// the bench suite — boils down to a batch of independent, deterministic
+// (config, launch, policy, options) simulations; this package fans such
+// a batch across a worker pool sized to the machine and memoizes each
+// result in an optional content-addressed disk cache, so a warm re-run
+// performs zero simulations.
+//
+// Determinism: results are returned indexed by job position, never by
+// completion order, so a batch run at Workers=8 is byte-identical to
+// the same batch run at Workers=1 (the simulator itself is
+// deterministic). Panics inside a job are captured and surfaced as that
+// job's error rather than crashing the pool, and a context cancel (or
+// the first failing job) stops the remaining work promptly.
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/resultcache"
+	"repro/internal/schedreg"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Job describes one simulation. Scheduler names a registered policy
+// (schedreg); alternatively Factory supplies an explicit policy, in
+// which case FactoryKey must be a stable string identifying its exact
+// parameters for the result cache — with Factory set and FactoryKey
+// empty the job still runs but is never cached (an anonymous policy has
+// no trustworthy identity).
+type Job struct {
+	// Config is the simulated GPU; nil means the paper's GTX480.
+	Config *config.Config
+	// Launch is the kernel launch to simulate.
+	Launch *engine.Launch
+	// Kernel labels the job in progress events; defaults to the
+	// program name.
+	Kernel string
+	// Scheduler is a registered policy name (ignored when Factory is
+	// set).
+	Scheduler string
+	// Factory overrides Scheduler with an explicit policy.
+	Factory engine.Factory
+	// FactoryKey is the cache identity of Factory (e.g.
+	// "PRO+threshold=500").
+	FactoryKey string
+	// Options tune the run.
+	Options gpu.Options
+}
+
+// label returns the display name of the job's kernel.
+func (j *Job) label() string {
+	if j.Kernel != "" {
+		return j.Kernel
+	}
+	if j.Launch != nil && j.Launch.Program != nil {
+		return j.Launch.Program.Name
+	}
+	return "?"
+}
+
+// schedLabel returns the display name of the job's policy.
+func (j *Job) schedLabel() string {
+	if j.Factory != nil {
+		if j.FactoryKey != "" {
+			return j.FactoryKey
+		}
+		return "custom"
+	}
+	return j.Scheduler
+}
+
+// Event reports the completion of one job to the progress callback.
+type Event struct {
+	// Kernel and Scheduler identify the finished job.
+	Kernel, Scheduler string
+	// Done and Total count completed jobs and the batch size.
+	Done, Total int
+	// FromCache is true when the result was replayed, not simulated.
+	FromCache bool
+	// CacheHits counts replayed results so far in this batch.
+	CacheHits int
+	// Elapsed is the wall time since the batch started; ETA estimates
+	// the remaining wall time from the mean pace so far.
+	Elapsed, ETA time.Duration
+}
+
+// Simulated counts the jobs of this batch that actually ran the
+// simulator.
+func (e Event) Simulated() int { return e.Done - e.CacheHits }
+
+// Engine runs batches of jobs. The zero value is valid: NumCPU workers,
+// no cache, no progress reporting.
+type Engine struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// Cache, when non-nil, memoizes results on disk.
+	Cache *resultcache.Cache
+	// OnProgress, when non-nil, is called after every job completion.
+	// Calls are serialized; keep the callback fast.
+	OnProgress func(Event)
+
+	// Engine-lifetime counters, summed over every batch this engine ran
+	// (a harness typically runs several: the main suite, timelines,
+	// traces).
+	completed atomic.Int64
+	replayed  atomic.Int64
+}
+
+// Completed returns the number of jobs finished over the engine's
+// lifetime.
+func (e *Engine) Completed() int64 { return e.completed.Load() }
+
+// Replayed returns how many of the completed jobs came from the cache.
+func (e *Engine) Replayed() int64 { return e.replayed.Load() }
+
+// Simulated returns how many of the completed jobs actually ran the
+// simulator.
+func (e *Engine) Simulated() int64 { return e.completed.Load() - e.replayed.Load() }
+
+// New builds an engine with workers pool slots (<= 0 means NumCPU) and,
+// when cacheDir is non-empty, a result cache in that directory.
+func New(workers int, cacheDir string, progress func(Event)) (*Engine, error) {
+	e := &Engine{Workers: workers, OnProgress: progress}
+	if cacheDir != "" {
+		c, err := resultcache.Open(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.Cache = c
+	}
+	return e, nil
+}
+
+// cacheKey is the JSON-encoded identity of a simulation. Struct fields
+// marshal in declaration order, so the encoding is stable.
+type cacheKey struct {
+	Config    *config.Config
+	Launch    *engine.Launch
+	Scheduler string
+	Options   gpu.Options
+}
+
+// Run executes the batch and returns one result per job, in job order.
+// On error (including a captured panic or a context cancel) the partial
+// results are discarded and the first failure is returned.
+func (e *Engine) Run(ctx context.Context, js []Job) ([]*stats.KernelResult, error) {
+	if len(js) == 0 {
+		return nil, nil
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(js) {
+		workers = len(js)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*stats.KernelResult, len(js))
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		hits     int
+		start    = time.Now()
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func(j *Job, fromCache bool) {
+		e.completed.Add(1)
+		if fromCache {
+			e.replayed.Add(1)
+		}
+		mu.Lock()
+		done++
+		if fromCache {
+			hits++
+		}
+		ev := Event{
+			Kernel:    j.label(),
+			Scheduler: j.schedLabel(),
+			Done:      done,
+			Total:     len(js),
+			FromCache: fromCache,
+			CacheHits: hits,
+			Elapsed:   time.Since(start),
+		}
+		if done > 0 && done < ev.Total {
+			ev.ETA = time.Duration(int64(ev.Elapsed) / int64(done) * int64(ev.Total-done))
+		}
+		cb := e.OnProgress
+		if cb != nil {
+			cb(ev)
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				r, fromCache, err := e.runOne(&js[i])
+				if err != nil {
+					fail(fmt.Errorf("jobs: job %d (%s/%s): %w",
+						i, js[i].label(), js[i].schedLabel(), err))
+					return
+				}
+				results[i] = r
+				finish(&js[i], fromCache)
+			}
+		}()
+	}
+
+feed:
+	for i := range js {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, fmt.Errorf("jobs: %w", ctxErr)
+	}
+	return results, nil
+}
+
+// runOne resolves, memoizes and executes a single job, converting any
+// panic into an error.
+func (e *Engine) runOne(j *Job) (r *stats.KernelResult, fromCache bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+
+	cfg := j.Config
+	if cfg == nil {
+		cfg = config.GTX480()
+	}
+	factory := j.Factory
+	schedID := j.FactoryKey
+	if factory == nil {
+		if factory, err = schedreg.New(j.Scheduler); err != nil {
+			return nil, false, err
+		}
+		schedID = j.Scheduler
+	}
+
+	var key string
+	cacheable := e.Cache != nil && schedID != ""
+	if cacheable {
+		key, err = e.Cache.Key(cacheKey{
+			Config: cfg, Launch: j.Launch, Scheduler: schedID, Options: j.Options,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if cached, ok := e.Cache.Get(key); ok {
+			return cached, true, nil
+		}
+	}
+
+	r, err = gpu.Run(cfg, j.Launch, factory, j.Options)
+	if err != nil {
+		return nil, false, err
+	}
+	if cacheable {
+		if err := e.Cache.Put(key, r); err != nil {
+			return nil, false, err
+		}
+	}
+	return r, false, nil
+}
+
+// RunOne is the single-job convenience: it runs j synchronously through
+// the engine (cache included) and returns its result.
+func (e *Engine) RunOne(ctx context.Context, j Job) (*stats.KernelResult, error) {
+	rs, err := e.Run(ctx, []Job{j})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// PrintProgress returns a progress callback that renders each event as
+// one line on w — conventionally os.Stderr, so stdout stays
+// machine-parseable. Lines look like
+//
+//	[  12.3s]  37/100 aesEncrypt128/PRO (12 cached, eta 41.0s)
+func PrintProgress(w io.Writer) func(Event) {
+	return func(ev Event) {
+		tags := ""
+		if ev.FromCache {
+			tags = " [cached]"
+		}
+		extra := ""
+		if ev.CacheHits > 0 {
+			extra = fmt.Sprintf("%d cached", ev.CacheHits)
+		}
+		if ev.ETA > 0 {
+			if extra != "" {
+				extra += ", "
+			}
+			extra += fmt.Sprintf("eta %.1fs", ev.ETA.Seconds())
+		}
+		if extra != "" {
+			extra = " (" + extra + ")"
+		}
+		fmt.Fprintf(w, "[%7.1fs] %3d/%d %s/%s%s%s\n",
+			ev.Elapsed.Seconds(), ev.Done, ev.Total, ev.Kernel, ev.Scheduler, tags, extra)
+	}
+}
+
+// Grid builds the standard evaluation batch: every workload under every
+// named scheduler, scheduler-major within each workload (the same order
+// the serial harness used). maxTBs > 0 shrinks each grid first.
+func Grid(ws []*workloads.Workload, scheds []string, maxTBs int, opts gpu.Options) []Job {
+	js := make([]Job, 0, len(ws)*len(scheds))
+	for _, w := range ws {
+		run := w
+		if maxTBs > 0 {
+			run = w.Shrunk(maxTBs)
+		}
+		for _, sched := range scheds {
+			js = append(js, Job{
+				Launch:    run.Launch,
+				Kernel:    run.Kernel,
+				Scheduler: sched,
+				Options:   opts,
+			})
+		}
+	}
+	return js
+}

@@ -1,0 +1,142 @@
+// Package resultcache memoizes simulation results on disk. The
+// simulator is deterministic — the same (GPU config, launch, scheduling
+// policy, options) always produces the same stats.KernelResult — so a
+// result can be stored under a content hash of its inputs and replayed
+// on any later run. Warm re-runs of the evaluation harnesses then
+// perform zero simulations.
+//
+// Layout: one JSON file per result, <dir>/<hex key>.json, wrapped in an
+// envelope that repeats the schema version and key. A missing file,
+// unreadable file, malformed JSON, or envelope mismatch is a cache
+// miss, never an error: the caller recomputes and overwrites. Writes go
+// through a temp file plus rename so concurrent writers (the parallel
+// job engine) can never expose a half-written entry.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// SchemaVersion is the cache format generation. Bump it whenever the
+// simulator's observable behaviour changes (new counters, timing-model
+// fixes, KernelResult field changes): the version participates in every
+// key, so stale entries from older schemas can never hit.
+const SchemaVersion = 1
+
+// Cache is a content-addressed store of KernelResults in one directory.
+// All methods are safe for concurrent use.
+type Cache struct {
+	dir     string
+	version int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
+}
+
+// envelope is the on-disk wrapper: the version and key guard against
+// reading entries written by a different schema or a corrupted file.
+type envelope struct {
+	Schema int                 `json:"schema"`
+	Key    string              `json:"key"`
+	Result *stats.KernelResult `json:"result"`
+}
+
+// Open creates (if needed) and opens a cache directory at the current
+// schema version.
+func Open(dir string) (*Cache, error) { return OpenVersion(dir, SchemaVersion) }
+
+// OpenVersion opens a cache pinned to an explicit schema version; tests
+// use it to prove that version bumps invalidate old entries.
+func OpenVersion(dir string, version int) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir, version: version}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key hashes an arbitrary JSON-encodable description of a simulation
+// together with the cache schema version into a stable hex key. Go's
+// encoding/json emits struct fields in declaration order, so the same
+// inputs always produce the same bytes.
+func (c *Cache) Key(desc any) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "resultcache/v%d\n", c.version)
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(desc); err != nil {
+		return "", fmt.Errorf("resultcache: encoding key: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// path maps a key to its file.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// Get returns the cached result for key, or (nil, false) on any kind of
+// miss — absent, unreadable, corrupt, or from a different schema.
+func (c *Cache) Get(key string) (*stats.KernelResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil ||
+		env.Schema != c.version || env.Key != key || env.Result == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return env.Result, true
+}
+
+// Put stores a result under key, atomically replacing any previous
+// entry.
+func (c *Cache) Put(key string, r *stats.KernelResult) error {
+	data, err := json.Marshal(envelope{Schema: c.version, Key: key, Result: r})
+	if err != nil {
+		return fmt.Errorf("resultcache: encoding result: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// Hits returns the number of successful Gets since Open.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of failed Gets since Open.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Writes returns the number of successful Puts since Open.
+func (c *Cache) Writes() int64 { return c.writes.Load() }

@@ -1,0 +1,201 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleResult() *stats.KernelResult {
+	return &stats.KernelResult{
+		Kernel:       "aesEncrypt128",
+		Scheduler:    "PRO",
+		Cycles:       123456,
+		WarpInstrs:   7890,
+		ThreadInstrs: 252480,
+		TBCount:      257,
+		Stalls:       stats.StallBreakdown{Issued: 7890, Idle: 11, Scoreboard: 22, Pipeline: 33},
+		Mem:          stats.MemStats{L1Accesses: 100, L1Misses: 25},
+		Timeline:     []stats.TBSpan{{TB: 0, SM: 0, Slot: 0, Start: 10, End: 500}},
+		OrderTrace:   []stats.OrderSample{{Cycle: 1000, Order: []int{2, 0, 1}}},
+	}
+}
+
+func TestHitMissRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.Key(map[string]any{"kernel": "aes", "sched": "PRO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if c.Misses() != 1 {
+		t.Fatalf("Misses = %d, want 1", c.Misses())
+	}
+
+	want := sampleResult()
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated result:\ngot  %+v\nwant %+v", got, want)
+	}
+	if c.Hits() != 1 || c.Writes() != 1 {
+		t.Fatalf("Hits = %d, Writes = %d, want 1, 1", c.Hits(), c.Writes())
+	}
+}
+
+func TestKeyIsStableAndDiscriminates(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type desc struct {
+		Kernel, Sched string
+		Grid          int
+	}
+	k1, err := c.Key(desc{"aes", "PRO", 257})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c.Key(desc{"aes", "PRO", 257})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical descriptions hashed differently")
+	}
+	k3, err := c.Key(desc{"aes", "PRO", 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Fatal("different descriptions collided")
+	}
+}
+
+func TestCorruptEntryFallsBackToMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.Key("corruption-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string][]byte{
+		"truncated": []byte(`{"schema":1,"key":`),
+		"garbage":   []byte("\x00\x01not json at all"),
+		"empty":     nil,
+		"wrong-key": []byte(`{"schema":1,"key":"0000","result":{"Kernel":"x"}}`),
+		"no-result": []byte(`{"schema":1,"key":"` + key + `"}`),
+	}
+	for name, data := range corruptions {
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("%s: corrupt entry returned a hit", name)
+		}
+	}
+
+	// Recompute-and-overwrite restores the entry.
+	if err := c.Put(key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("miss after recovering from corruption")
+	}
+}
+
+func TestSchemaVersionBumpInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := OpenVersion(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := "the same simulation"
+	k1, err := v1.Key(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Put(k1, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := OpenVersion(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := v2.Key(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("schema bump did not change the key")
+	}
+	if _, ok := v2.Get(k2); ok {
+		t.Fatal("new schema hit an old entry")
+	}
+	// Even a deliberate read of the old key must reject the envelope.
+	if _, ok := v2.Get(k1); ok {
+		t.Fatal("new schema accepted an old-schema envelope")
+	}
+	// The old version still sees its entry.
+	if _, ok := v1.Get(k1); !ok {
+		t.Fatal("old schema lost its entry")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.Key("contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				if err := c.Put(key, sampleResult()); err != nil {
+					t.Error(err)
+					return
+				}
+				if r, ok := c.Get(key); ok && r.Cycles != 123456 {
+					t.Errorf("torn read: Cycles = %d", r.Cycles)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

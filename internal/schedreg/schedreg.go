@@ -1,0 +1,60 @@
+// Package schedreg is the registry of named warp-scheduling policies.
+// It maps the names used throughout the evaluation harness (TL, LRR,
+// GTO, PRO and the PRO ablations) to engine.Factory constructors, so
+// that both the public prosim facade and the internal job engine can
+// resolve policies without depending on each other.
+//
+// A policy *name* is also a stable identity: the result cache keys
+// simulations by it, so a name must always construct the same policy
+// with the same parameters. Parameterized factories (e.g. PRO with a
+// non-default threshold) are not named here; callers pass an explicit
+// factory plus their own cache discriminator instead.
+package schedreg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// Names lists the four policies of the paper's comparison in its
+// comparison order (Fig. 4, Table III).
+func Names() []string { return []string{"TL", "LRR", "GTO", "PRO"} }
+
+// All lists every registered policy name, the paper's four first.
+func All() []string {
+	return []string{"TL", "LRR", "GTO", "PRO",
+		"PRO-nobar", "PRO-adaptive", "PRO-norm", "CAWS-lite", "OWL-lite"}
+}
+
+// New returns the factory for a named policy. Recognized names: LRR,
+// GTO, TL, PRO, PRO-nobar (the barrier-handling ablation of Sec. IV),
+// PRO-adaptive (the paper's future-work online profiler that toggles
+// barrier handling per SM), PRO-norm (the Sec. III-A normalized-progress
+// variant), CAWS-lite and OWL-lite (related-work baselines).
+func New(name string) (engine.Factory, error) {
+	switch name {
+	case "LRR":
+		return sched.NewLRR, nil
+	case "GTO":
+		return sched.NewGTO, nil
+	case "TL":
+		return sched.NewTL, nil
+	case "PRO":
+		return core.New(), nil
+	case "PRO-nobar":
+		return core.New(core.WithoutBarrierHandling()), nil
+	case "PRO-adaptive":
+		return core.New(core.WithAdaptiveBarrierHandling(0, 0)), nil
+	case "PRO-norm":
+		return core.New(core.WithNormalizedProgress()), nil
+	case "CAWS-lite":
+		return sched.NewCAWSLite, nil
+	case "OWL-lite":
+		return sched.NewOWLLite, nil
+	default:
+		return nil, fmt.Errorf("schedreg: unknown scheduler %q", name)
+	}
+}

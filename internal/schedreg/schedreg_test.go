@@ -1,0 +1,64 @@
+package schedreg
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/timing"
+)
+
+// newSM builds a small real SM so every factory can be exercised.
+func newSM(t *testing.T, factory engine.Factory) *engine.SM {
+	t.Helper()
+	b := isa.NewBuilder("schedreg-test")
+	b.IAdd(1, 0, 0)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.GTX480()
+	wheel := timing.NewWheel()
+	mem := memsys.New(cfg, wheel)
+	launch := &engine.Launch{Program: prog, GridTBs: 4, BlockThreads: 64, Seed: 1}
+	if err := launch.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return engine.NewSM(0, cfg, wheel, mem, launch, factory)
+}
+
+func TestAllNamesConstruct(t *testing.T) {
+	for _, name := range All() {
+		f, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		sm := newSM(t, f)
+		if sm.Sched == nil {
+			t.Fatalf("factory %q produced nil scheduler", name)
+		}
+		if sm.Sched.Name() == "" {
+			t.Fatalf("policy %q has an empty name", name)
+		}
+	}
+}
+
+func TestNamesAreRegistered(t *testing.T) {
+	if len(Names()) != 4 {
+		t.Fatalf("Names() = %v, want the paper's four", Names())
+	}
+	for _, name := range Names() {
+		if _, err := New(name); err != nil {
+			t.Fatalf("comparison-order name %q not registered: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := New("BOGUS"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

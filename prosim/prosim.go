@@ -12,13 +12,16 @@
 package prosim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gpu"
-	"repro/internal/sched"
+	"repro/internal/jobs"
+	"repro/internal/resultcache"
+	"repro/internal/schedreg"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -37,6 +40,15 @@ type (
 	Workload = workloads.Workload
 	// Factory builds a scheduling policy for an SM.
 	Factory = engine.Factory
+	// Job is one simulation in a parallel batch (see RunJobs).
+	Job = jobs.Job
+	// JobEngine fans jobs across a worker pool with an optional result
+	// cache.
+	JobEngine = jobs.Engine
+	// JobEvent reports one job completion to a progress callback.
+	JobEvent = jobs.Event
+	// ResultCache memoizes simulation results on disk.
+	ResultCache = resultcache.Cache
 )
 
 // GTX480 returns the paper's Table I configuration.
@@ -44,37 +56,15 @@ func GTX480() *Config { return config.GTX480() }
 
 // SchedulerNames lists the registered policies in the paper's comparison
 // order.
-func SchedulerNames() []string { return []string{"TL", "LRR", "GTO", "PRO"} }
+func SchedulerNames() []string { return schedreg.Names() }
 
 // Schedulers returns the factory for a named policy. Recognized names:
 // LRR, GTO, TL, PRO, PRO-nobar (the barrier-handling ablation of
 // Sec. IV), PRO-adaptive (the paper's future-work online profiler that
-// toggles barrier handling per SM) and PRO-norm (the Sec. III-A
-// normalized-progress variant).
-func Schedulers(name string) (Factory, error) {
-	switch name {
-	case "LRR":
-		return sched.NewLRR, nil
-	case "GTO":
-		return sched.NewGTO, nil
-	case "TL":
-		return sched.NewTL, nil
-	case "PRO":
-		return core.New(), nil
-	case "PRO-nobar":
-		return core.New(core.WithoutBarrierHandling()), nil
-	case "PRO-adaptive":
-		return core.New(core.WithAdaptiveBarrierHandling(0, 0)), nil
-	case "PRO-norm":
-		return core.New(core.WithNormalizedProgress()), nil
-	case "CAWS-lite":
-		return sched.NewCAWSLite, nil
-	case "OWL-lite":
-		return sched.NewOWLLite, nil
-	default:
-		return nil, fmt.Errorf("prosim: unknown scheduler %q", name)
-	}
-}
+// toggles barrier handling per SM), PRO-norm (the Sec. III-A
+// normalized-progress variant) and the related-work baselines CAWS-lite
+// and OWL-lite.
+func Schedulers(name string) (Factory, error) { return schedreg.New(name) }
 
 // PRO returns a PRO factory with explicit options (threshold, ablations,
 // order tracing).
@@ -134,4 +124,36 @@ func RunApp(app, scheduler string, opts Options) (*AppResult, error) {
 		agg.Accumulate(r)
 	}
 	return agg, nil
+}
+
+// ---- Parallel execution & caching ----
+
+// NewJobEngine builds a job engine with workers pool slots (<= 0 means
+// one per CPU core) and, when cacheDir is non-empty, a content-addressed
+// result cache in that directory. progress may be nil.
+func NewJobEngine(workers int, cacheDir string, progress func(JobEvent)) (*JobEngine, error) {
+	return jobs.New(workers, cacheDir, progress)
+}
+
+// OpenResultCache opens (creating if needed) a result cache directory at
+// the current schema version.
+func OpenResultCache(dir string) (*ResultCache, error) { return resultcache.Open(dir) }
+
+// RunJobs executes a batch of simulation jobs through e (nil means a
+// default engine: one worker per core, no cache) and returns one result
+// per job, in job order regardless of completion order. The simulator is
+// deterministic, so the results are identical to running the batch
+// serially.
+func RunJobs(ctx context.Context, e *JobEngine, js []Job) ([]*Result, error) {
+	if e == nil {
+		e = &JobEngine{}
+	}
+	return e.Run(ctx, js)
+}
+
+// WorkloadJobs builds the standard evaluation batch — every workload
+// under every named scheduler, in suite order — ready for RunJobs.
+// maxTBs > 0 shrinks each grid first.
+func WorkloadJobs(ws []*Workload, scheds []string, maxTBs int, opts Options) []Job {
+	return jobs.Grid(ws, scheds, maxTBs, opts)
 }
