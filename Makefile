@@ -1,11 +1,11 @@
 # Developer / CI entry points. `make check` is the gate every change
-# must pass: go vet plus the full test suite under the race detector —
-# load-bearing now that the job engine fans simulations across a worker
-# pool.
+# must pass: go vet, the full test suite under the race detector, the
+# fast-path differential test (order cache + cycle skipping must be
+# bit-invisible) and a compile check of the bench harness.
 
 GO ?= go
 
-.PHONY: build test vet race check bench report papercheck
+.PHONY: build test vet race fastpath benchbuild check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,28 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# The bit-identity oracle for the simulation fast paths: every fast-path
+# combination must reproduce the naive engine's results byte for byte.
+fastpath:
+	$(GO) test -run TestFastPathEquivalence -count=1 ./prosim
 
+# The bench harness must always compile (it is easy to break silently,
+# since plain `go test ./...` runs it but a refactor of the experiment
+# API can leave stale benchmarks behind on partial builds).
+benchbuild:
+	$(GO) vet .
+	$(GO) test -run '^$$' -bench '^$$' .
+
+check: vet race fastpath benchbuild
+
+# Statistically meaningful bench run for before/after comparisons:
+# 5 repetitions with allocation counts, archived under results/.
 bench:
+	@mkdir -p results
+	$(GO) test -bench=. -benchmem -count=5 . | tee results/bench.txt
+
+# Quick bench pass (one iteration per benchmark, no allocation stats).
+benchquick:
 	$(GO) test -bench=. -benchtime=1x .
 
 # Regenerate every paper artifact into results/ using all cores and a

@@ -61,6 +61,7 @@ func main() {
 	quiet := flag.Bool("quiet", true, "suppress per-run progress")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
 	flag.Parse()
 
 	if *maxTBs > 0 {
@@ -183,6 +184,16 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "papercheck completed in %.1fs (%d jobs: %d simulated, %d cache hits)\n",
 		time.Since(start).Seconds(), eng.Completed(), eng.Simulated(), eng.Replayed())
+
+	if *cacheGC != "" {
+		st, err := prosim.GCResultCache(*cacheDir, *cacheGC)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "papercheck:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cache-gc: evicted %d of %d entries, freed %d bytes\n",
+			st.Evicted, st.Entries, st.Freed)
+	}
 
 	if failures > 0 {
 		fmt.Printf("\n%d claim(s) FAILED\n", failures)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/isa"
@@ -32,6 +33,9 @@ func main() {
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids to at most this many TBs (0 = full)")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quiet := flag.Bool("quiet", true, "suppress per-run progress (stderr)")
 	div := flag.Bool("div", false, "also print warp-level-divergence metrics (finish disparity, barrier wait)")
 	program := flag.String("program", "", "path to a kernel in the text format (overrides -kernel/-all)")
@@ -41,6 +45,17 @@ func main() {
 	smem := flag.Int("smem", 0, "shared memory per TB in bytes for -program")
 	seed := flag.Uint64("seed", 1, "kernel seed for -program")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		fmt.Printf("%-12s %-28s %-10s %8s %6s %6s\n", "APP", "KERNEL", "SUITE", "PAPERTBS", "GRID", "BLOCK")
@@ -131,6 +146,26 @@ func main() {
 			}
 			fmt.Println(speed)
 		}
+	}
+
+	if *cacheGC != "" {
+		st, err := prosim.GCResultCache(*cacheDir, *cacheGC)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cache-gc: evicted %d of %d entries, freed %d bytes\n",
+			st.Evicted, st.Entries, st.Freed)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/viz"
 	"repro/internal/workloads"
+	"repro/prosim"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional; makes warm re-runs instant)")
+	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
 	flag.Parse()
 
 	emit := func(name, content string) {
@@ -145,6 +147,15 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "report completed in %.1fs (%d jobs: %d simulated, %d cache hits)\n",
 		time.Since(start).Seconds(), eng.Completed(), eng.Simulated(), eng.Replayed())
+
+	if *cacheGC != "" {
+		st, err := prosim.GCResultCache(*cacheDir, *cacheGC)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cache-gc: evicted %d of %d entries, freed %d bytes\n",
+			st.Evicted, st.Entries, st.Freed)
+	}
 }
 
 func fatal(err error) {

@@ -126,6 +126,20 @@ type Config struct {
 	ICacheAssoc       int
 	ICacheLineInstrs  int
 	ICacheMissLatency int
+
+	// --- Simulation-speed switches ---
+	//
+	// These force the engine's naive per-cycle paths for differential
+	// testing. They cannot change any observable result — the fast paths
+	// are bit-identical by construction (see DESIGN.md, "Performance
+	// notes") — so they are excluded from result-cache keys.
+
+	// DisableOrderCache rebuilds every scheduler slot's warp order each
+	// cycle instead of reusing the generation-tagged cached order.
+	DisableOrderCache bool `json:"-"`
+	// DisableCycleSkip ticks fully-stalled SMs cycle by cycle instead of
+	// fast-forwarding their stall accounting to the next wake-up event.
+	DisableCycleSkip bool `json:"-"`
 }
 
 // GTX480 returns the configuration from Table I of the paper.

@@ -33,8 +33,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/stats"
@@ -83,6 +81,15 @@ type Policy struct {
 
 	slowPhase bool
 	lastSort  int64
+
+	// gen is the order generation reported through OrderGen: bumped by
+	// every mutation of the priority structure that changes the emitted
+	// order (group sorts that actually move an element, list migrations,
+	// assignment/retirement), it lets the engine reuse a cached order on
+	// the many cycles where nothing changed. Event-driven re-sorts that
+	// leave every element in place — the common case for barrier
+	// arrivals and warp finishes — deliberately do not bump it.
+	gen uint64
 
 	entries map[*engine.ThreadBlock]*tbEntry
 	finish  []*tbEntry // finishWait TBs, priority order
@@ -150,11 +157,12 @@ func (p *Policy) Name() string {
 // TBsWaitingInThrdBlkSched().
 func (p *Policy) fastPhase() bool { return p.sm.PendingTBsFn() > 0 }
 
-// Order implements engine.Scheduler — the scheduleWarps procedure of
-// Algorithm 1: handle the phase transition, re-sort the rem group on the
-// threshold, then emit warps from finishWait, barrierWait and rem TBs in
-// that priority order.
-func (p *Policy) Order(slot int, dst []*engine.Warp, cycle int64) []*engine.Warp {
+// refresh runs the time-driven part of scheduleWarps: the adaptive
+// profiling state machine, the fast→slow phase transition and the
+// THRESHOLD re-sort of the rem group. It is idempotent within a cycle
+// (each step guards on state it updates), matching the historical
+// behavior of running once per scheduler slot.
+func (p *Policy) refresh(cycle int64) {
 	if p.adaptive != nil {
 		p.adaptTick(cycle)
 	}
@@ -168,10 +176,39 @@ func (p *Policy) Order(slot int, dst []*engine.Warp, cycle int64) []*engine.Warp
 			p.sample(cycle)
 		}
 	}
+}
+
+// Order implements engine.Scheduler — the scheduleWarps procedure of
+// Algorithm 1: handle the phase transition, re-sort the rem group on the
+// threshold, then emit warps from finishWait, barrierWait and rem TBs in
+// that priority order.
+func (p *Policy) Order(slot int, dst []*engine.Warp, cycle int64) []*engine.Warp {
+	p.refresh(cycle)
 	dst = p.appendGroup(dst, slot, p.finish)
 	dst = p.appendGroup(dst, slot, p.barrier)
 	dst = p.appendGroup(dst, slot, p.rem)
 	return dst
+}
+
+// OrderGen implements engine.OrderCacher. The refresh lives here so
+// threshold re-sorts and adaptive epochs keep firing on cycles where the
+// engine's order cache hits and Order is never called.
+func (p *Policy) OrderGen(slot int, cycle int64) uint64 {
+	p.refresh(cycle)
+	return p.gen
+}
+
+// NextTimedEvent implements engine.TimedScheduler: the next cycle at
+// which refresh does something time-driven — the first cycle past the
+// re-sort threshold, or the adaptive controller's next epoch switch.
+// A sleeping SM wakes no later than this, so lastSort and the epoch
+// boundaries advance exactly as under per-cycle ticking.
+func (p *Policy) NextTimedEvent(cycle int64) int64 {
+	next := p.lastSort + p.threshold + 1
+	if p.adaptive != nil && p.adaptive.nextSwitch > cycle && p.adaptive.nextSwitch < next {
+		next = p.adaptive.nextSwitch
+	}
+	return next
 }
 
 func (p *Policy) appendGroup(dst []*engine.Warp, slot int, group []*tbEntry) []*engine.Warp {
@@ -192,6 +229,7 @@ func (p *Policy) appendGroup(dst []*engine.Warp, slot int, group []*tbEntry) []*
 // when their barrier completes).
 func (p *Policy) transitionToSlowPhase() {
 	p.slowPhase = true
+	p.gen++ // group merge changes the order even if no sort moves
 	p.rem = append(p.rem, p.finish...)
 	p.finish = p.finish[:0]
 	for _, e := range p.rem {
@@ -212,42 +250,76 @@ func (p *Policy) progressKey(tb *engine.ThreadBlock) float64 {
 	return float64(tb.Progress)
 }
 
+// The group and warp sorts below are stable insertion sorts rather than
+// sort.SliceStable: every comparator is a total order (global TB index /
+// warp index break all ties), so the permutation is identical, and
+// insertion sorting small, mostly-sorted lists in place avoids the
+// reflection machinery and its per-call allocations on the hot path.
+
+// insertionSortTBs stably sorts list by less, reporting whether any
+// element moved. Because every comparator is a total order, "nothing
+// moved" means the sorted list — and hence the emitted Order — is
+// byte-identical to the previous one, so callers skip the generation
+// bump and the engine keeps its cached orders and slot gates.
+func insertionSortTBs(list []*tbEntry, less func(a, b *tbEntry) bool) bool {
+	moved := false
+	for i := 1; i < len(list); i++ {
+		e := list[i]
+		j := i - 1
+		for j >= 0 && less(e, list[j]) {
+			list[j+1] = list[j]
+			j--
+		}
+		list[j+1] = e
+		if j+1 != i {
+			moved = true
+		}
+	}
+	return moved
+}
+
 // sortRem orders the rem group: fast phase by progress descending (tie:
 // global TB index ascending, per Sec. III-C.1) with warps descending;
 // slow phase by progress ascending with warps ascending.
 func (p *Policy) sortRem() {
+	var moved bool
 	if p.slowPhase {
-		sort.SliceStable(p.rem, func(i, j int) bool {
-			a, b := p.rem[i].tb, p.rem[j].tb
-			ka, kb := p.progressKey(a), p.progressKey(b)
+		moved = insertionSortTBs(p.rem, func(x, y *tbEntry) bool {
+			ka, kb := p.progressKey(x.tb), p.progressKey(y.tb)
 			if ka != kb {
 				return ka < kb
 			}
-			return a.Global < b.Global
+			return x.tb.Global < y.tb.Global
 		})
 		for _, e := range p.rem {
-			sortWarpsAsc(e.warps)
+			if sortWarpsAsc(e.warps) {
+				moved = true
+			}
 		}
-		return
+	} else {
+		moved = insertionSortTBs(p.rem, func(x, y *tbEntry) bool {
+			ka, kb := p.progressKey(x.tb), p.progressKey(y.tb)
+			if ka != kb {
+				return ka > kb
+			}
+			return x.tb.Global < y.tb.Global
+		})
+		for _, e := range p.rem {
+			if sortWarpsDesc(e.warps) {
+				moved = true
+			}
+		}
 	}
-	sort.SliceStable(p.rem, func(i, j int) bool {
-		a, b := p.rem[i].tb, p.rem[j].tb
-		ka, kb := p.progressKey(a), p.progressKey(b)
-		if ka != kb {
-			return ka > kb
-		}
-		return a.Global < b.Global
-	})
-	for _, e := range p.rem {
-		sortWarpsDesc(e.warps)
+	if moved {
+		p.gen++
 	}
 }
 
 // sortFinish orders finishWait TBs by warps-finished descending, tie by
 // progress descending (Sec. III-C.2), then global index.
 func (p *Policy) sortFinish() {
-	sort.SliceStable(p.finish, func(i, j int) bool {
-		a, b := p.finish[i].tb, p.finish[j].tb
+	moved := insertionSortTBs(p.finish, func(x, y *tbEntry) bool {
+		a, b := x.tb, y.tb
 		if a.WarpsFinished != b.WarpsFinished {
 			return a.WarpsFinished > b.WarpsFinished
 		}
@@ -256,13 +328,16 @@ func (p *Policy) sortFinish() {
 		}
 		return a.Global < b.Global
 	})
+	if moved {
+		p.gen++
+	}
 }
 
 // sortBarrier orders barrierWait TBs by warps-at-barrier descending, tie
 // by progress descending (Sec. III-C.3), then global index.
 func (p *Policy) sortBarrier() {
-	sort.SliceStable(p.barrier, func(i, j int) bool {
-		a, b := p.barrier[i].tb, p.barrier[j].tb
+	moved := insertionSortTBs(p.barrier, func(x, y *tbEntry) bool {
+		a, b := x.tb, y.tb
 		if a.WarpsAtBarrier != b.WarpsAtBarrier {
 			return a.WarpsAtBarrier > b.WarpsAtBarrier
 		}
@@ -271,24 +346,45 @@ func (p *Policy) sortBarrier() {
 		}
 		return a.Global < b.Global
 	})
+	if moved {
+		p.gen++
+	}
 }
 
-func sortWarpsAsc(ws []*engine.Warp) {
-	sort.SliceStable(ws, func(i, j int) bool {
-		if ws[i].Progress != ws[j].Progress {
-			return ws[i].Progress < ws[j].Progress
+func sortWarpsAsc(ws []*engine.Warp) bool {
+	moved := false
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && (w.Progress < ws[j].Progress ||
+			(w.Progress == ws[j].Progress && w.IDInTB < ws[j].IDInTB)) {
+			ws[j+1] = ws[j]
+			j--
 		}
-		return ws[i].IDInTB < ws[j].IDInTB
-	})
+		ws[j+1] = w
+		if j+1 != i {
+			moved = true
+		}
+	}
+	return moved
 }
 
-func sortWarpsDesc(ws []*engine.Warp) {
-	sort.SliceStable(ws, func(i, j int) bool {
-		if ws[i].Progress != ws[j].Progress {
-			return ws[i].Progress > ws[j].Progress
+func sortWarpsDesc(ws []*engine.Warp) bool {
+	moved := false
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && (w.Progress > ws[j].Progress ||
+			(w.Progress == ws[j].Progress && w.IDInTB < ws[j].IDInTB)) {
+			ws[j+1] = ws[j]
+			j--
 		}
-		return ws[i].IDInTB < ws[j].IDInTB
-	})
+		ws[j+1] = w
+		if j+1 != i {
+			moved = true
+		}
+	}
+	return moved
 }
 
 // remove deletes e from list, preserving order.
@@ -313,6 +409,7 @@ func (p *Policy) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
 	}
 	p.entries[tb] = e
 	p.rem = append(p.rem, e)
+	p.gen++
 }
 
 // OnTBRetire implements engine.Scheduler.
@@ -324,6 +421,7 @@ func (p *Policy) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
 	p.completedTBs++
 	p.completedInstrs += tb.Progress
 	delete(p.entries, tb)
+	p.gen++
 	switch e.state {
 	case stFinishWait:
 		p.finish = remove(p.finish, e)
@@ -350,6 +448,7 @@ func (p *Policy) OnWarpFinish(w *engine.Warp, _ int64) {
 			p.finish = append(p.finish, e)
 		}
 		sortWarpsAsc(e.warps)
+		p.gen++ // list migration / warp re-sort changed the order
 	}
 	p.sortFinish()
 }
@@ -373,6 +472,7 @@ func (p *Policy) OnBarrierArrive(w *engine.Warp, _ int64) {
 			p.barrier = append(p.barrier, e)
 		}
 		sortWarpsAsc(e.warps)
+		p.gen++ // list migration / warp re-sort changed the order
 	}
 	p.sortBarrier()
 }
@@ -394,6 +494,7 @@ func (p *Policy) OnBarrierRelease(tb *engine.ThreadBlock, _ int64) {
 		e.state = stFinishNoWait
 	}
 	p.rem = append(p.rem, e)
+	p.gen++
 }
 
 // sample records the current SM-0 TB priority order (highest first).

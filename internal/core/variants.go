@@ -100,6 +100,9 @@ func (p *Policy) setBarrierHandling(on bool) {
 		return
 	}
 	p.barrierHandling = on
+	// Membership migrates below; the sorts only bump the generation when
+	// they move something, so invalidate cached orders here explicitly.
+	p.gen++
 	if !on {
 		for _, e := range p.barrier {
 			if p.slowPhase {

@@ -1,0 +1,85 @@
+package engine_test
+
+// Steady-state allocation regression tests. The issue loop is the
+// simulator's hot path: once an SM's thread blocks are resident and
+// warps are fetching and issuing, a core cycle must not allocate —
+// every buffer it needs (warp orders, memory transactions, event
+// callbacks) is pooled or pre-bound. A regression here multiplies
+// across millions of simulated cycles, so it is pinned by test rather
+// than left to the benchmarks.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/sched"
+	"repro/internal/timing"
+)
+
+// steadyProg is a long ALU-only loop: warps issue (and periodically
+// refetch) for far longer than the measurement window, so every
+// measured cycle exercises the issue path in steady state.
+func steadyProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("alloc-steady")
+	b.Loop(isa.LoopSpec{Min: 1 << 20, Max: 1 << 20})
+	b.IAdd(1, 0, 0)
+	b.IAdd(2, 0, 0)
+	b.EndLoop()
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSteadyStateCycleDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		naive bool
+	}{
+		{"fast-path", false},
+		{"naive-path", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := config.GTX480()
+			cfg.DisableOrderCache = tc.naive
+			cfg.DisableCycleSkip = tc.naive
+
+			prog := steadyProg(t)
+			wheel := timing.NewWheel()
+			mem := memsys.New(cfg, wheel)
+			launch := &engine.Launch{Program: prog, GridTBs: 1, BlockThreads: 256, Seed: 1}
+			if err := launch.Validate(cfg); err != nil {
+				t.Fatal(err)
+			}
+			sm := engine.NewSM(0, cfg, wheel, mem, launch, sched.NewGTO)
+			sm.AssignTB(0, 0)
+
+			cycle := int64(0)
+			step := func() {
+				cycle++
+				wheel.Advance(cycle)
+				mem.Tick(cycle)
+				sm.Tick(cycle)
+			}
+			// Warm up past one full timing-wheel lap so every reusable
+			// buffer (wheel buckets, order caches, i-buffer refills) has
+			// reached its steady capacity.
+			for i := 0; i < timing.Horizon+512; i++ {
+				step()
+			}
+			avg := testing.AllocsPerRun(400, step)
+			if sm.Done() {
+				t.Fatal("kernel finished during measurement; not steady state")
+			}
+			if avg > 0.05 {
+				t.Errorf("steady-state cycle allocates %.2f objects; want 0", avg)
+			}
+		})
+	}
+}

@@ -7,9 +7,10 @@ import "repro/internal/isa"
 // two), which lets policies with SM-wide state — PRO's thread-block
 // priorities — present a coherent view to both slots.
 //
-// The engine invokes Order once per slot per cycle and walks the returned
-// warps in order, issuing the first one that is valid, scoreboard-ready
-// and has a free pipeline. A warp is owned by slot w.SchedSlot. Warps
+// The engine invokes Order once per slot per cycle — or, for policies
+// implementing OrderCacher, only when the slot's order generation
+// changes — and walks the returned warps in order, issuing the first one
+// that is valid, scoreboard-ready and has a free pipeline. A warp is owned by slot w.SchedSlot. Warps
 // omitted from Order cannot issue that cycle; a policy that filters (TL
 // only exposes its active set) must guarantee every live warp is
 // eventually exposed, or the SM deadlocks. The engine performs all
@@ -49,6 +50,39 @@ type Scheduler interface {
 // Factory builds a Scheduler bound to an SM. It runs during SM
 // construction, before any TB is assigned.
 type Factory func(sm *SM) Scheduler
+
+// OrderCacher is an optional Scheduler extension that makes the per-slot
+// order cacheable. Implementing it is a promise that Order is a pure
+// function of policy state: the sequence of warps Order returns for a
+// slot changes only when that slot's generation counter changes, and all
+// state mutation happens in the event hooks or inside OrderGen itself.
+//
+// The engine calls OrderGen once per slot per cycle (whenever the SM has
+// resident TBs), *before* consulting its cached order, and rebuilds the
+// order via Order only when the returned generation differs from the
+// cached one. Policies with time-driven behaviour (PRO's THRESHOLD
+// re-sort) perform it inside OrderGen, so the refresh keeps firing even
+// on cycles where the cache hits.
+//
+// Implementing OrderCacher also declares the policy safe for stall-aware
+// cycle skipping: the engine may stop ticking a fully-stalled SM (no
+// OrderGen/Order calls at all) until the next wake-up event. A policy
+// whose timed behaviour must fire at specific cycles must additionally
+// implement TimedScheduler so those cycles bound the skip.
+type OrderCacher interface {
+	// OrderGen returns slot's current order generation at cycle.
+	OrderGen(slot int, cycle int64) uint64
+}
+
+// TimedScheduler is an optional extension for policies whose OrderGen
+// refresh has time-driven effects (re-sorts on a cycle threshold,
+// profiling epochs). NextTimedEvent returns the earliest future cycle at
+// which such an effect fires; the engine wakes a sleeping SM no later
+// than that cycle so the effect happens exactly when it would have under
+// naive per-cycle ticking. Values at or before cycle are ignored.
+type TimedScheduler interface {
+	NextTimedEvent(cycle int64) int64
+}
 
 // BasePolicy provides no-op hook implementations so policies only
 // override what they observe.

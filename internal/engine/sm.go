@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"math/bits"
 
 	"repro/internal/cache"
@@ -76,7 +77,74 @@ type SM struct {
 
 	orderBuf []*Warp
 	lineBuf  []uint64
+
+	// cacher/timed are the policy's optional fast-path extensions (nil
+	// when the policy does not implement them). orderCacheOn and
+	// cycleSkipOn fold in the Config switches.
+	cacher       OrderCacher
+	timed        TimedScheduler
+	orderCacheOn bool
+	cycleSkipOn  bool
+	// orderCaches holds one generation-tagged cached order per slot.
+	orderCaches []orderCache
+
+	// Sleep state for stall-aware cycle skipping: while asleep, Tick
+	// returns immediately until wakeAt (or a wake event zeroes it) and
+	// the per-slot stall classes frozen in slotClass are accounted in
+	// bulk on wake — see trySleep for why the classification cannot
+	// change while asleep.
+	asleep bool
+	wakeAt int64
+	// sleepFrom is the last cycle whose stalls have been accounted.
+	sleepFrom int64
+	slotClass []slotOutcome
+
+	// memOpFree is the memOp free list (steady-state issue runs
+	// allocation-free); sfuDone is the pre-bound SFU-drain callback.
+	memOpFree *memOp
+	sfuDone   func(int64)
+
+	// slotGates short-circuit individual scheduler slots (cycle
+	// skipping at slot granularity: one slot can be fast-forwarded
+	// while its sibling still issues); gateEpoch invalidates them — it
+	// is bumped by every event that zeroes a warp's issue gate.
+	slotGates []slotGate
+	gateEpoch uint64
 }
+
+// slotGate caches the contiguous gated prefix of a scheduler slot's
+// priority order: strictly before cycle until — as long as the policy's
+// order generation and the SM's gate epoch are unchanged — the first
+// resume entries of the order are known to be gated with aggregate
+// Idle/Scoreboard contribution valid, so the scan restarts at resume
+// (or, when resume covers the whole order, the slot re-produces its
+// outcome without examining any warp at all).
+type slotGate struct {
+	until  int64 // prefix min gate: resume is valid strictly before this
+	gen    uint64
+	epoch  uint64
+	resume int  // order index to restart from; >= len(order): whole slot gated
+	valid  bool // anyValid aggregate of the skipped prefix
+	armed  bool
+}
+
+// orderCache memoizes one scheduler slot's priority order.
+type orderCache struct {
+	gen   uint64
+	valid bool
+	order []*Warp
+}
+
+// slotOutcome classifies one scheduler slot's cycle, mirroring the
+// stall taxonomy.
+type slotOutcome uint8
+
+const (
+	outIssued slotOutcome = iota
+	outPipeline
+	outScoreboard
+	outIdle
+)
 
 // NewSM builds an SM bound to a launch; factory creates its scheduling
 // policy. The launch must already be validated against cfg.
@@ -96,7 +164,19 @@ func NewSM(id int, cfg *config.Config, wheel *timing.Wheel, mem *memsys.System, 
 	if cfg.ICacheSize > 0 {
 		sm.icache = cache.MustNew(cfg.ICacheSize, cfg.ICacheAssoc, cfg.ICacheLineInstrs*8)
 	}
+	sm.orderCaches = make([]orderCache, cfg.SchedulersPerSM)
+	sm.slotClass = make([]slotOutcome, cfg.SchedulersPerSM)
+	sm.slotGates = make([]slotGate, cfg.SchedulersPerSM)
+	sm.sfuDone = func(int64) { sm.sfuInflight-- }
 	sm.Sched = factory(sm)
+	if oc, ok := sm.Sched.(OrderCacher); ok {
+		sm.cacher = oc
+		sm.orderCacheOn = !cfg.DisableOrderCache
+		sm.cycleSkipOn = !cfg.DisableCycleSkip
+	}
+	if ts, ok := sm.Sched.(TimedScheduler); ok {
+		sm.timed = ts
+	}
 	return sm
 }
 
@@ -139,6 +219,8 @@ func (sm *SM) AssignTB(global int, cycle int64) *ThreadBlock {
 	sm.TBSlots[slot] = tb
 	sm.residentTBs++
 	sm.Sched.OnTBAssign(tb, cycle)
+	sm.gateEpoch++
+	sm.wakeEvent()
 	return tb
 }
 
@@ -162,40 +244,165 @@ func (sm *SM) scheduleFetch(w *Warp) {
 			delay += int64(sm.Cfg.ICacheMissLatency)
 		}
 	}
-	sm.Wheel.ScheduleAfter(delay, func(int64) {
-		if !w.finished {
-			w.ibuf = sm.Cfg.IBufferEntries
-			w.fetchBusy = false
-		}
-	})
+	sm.Wheel.ScheduleAfter(delay, w.fetchDone)
 }
 
 // Done reports whether the SM has no resident TBs.
 func (sm *SM) Done() bool { return sm.residentTBs == 0 }
 
-// memOp is one warp memory instruction in the LD/ST unit.
+// memOp is one warp memory instruction in the LD/ST unit. Ops are
+// recycled through the SM's free list so the steady-state issue loop does
+// not allocate; buf backs lines (a coalesced warp access touches at most
+// one line per lane).
 type memOp struct {
+	sm    *SM
+	next  *memOp // free-list link
 	w     *Warp
 	dst   isa.Reg
 	kind  isa.Op
-	lines []uint64 // transactions not yet issued to the memory system
+	lines []uint64 // transactions not yet issued; aliases buf
+	buf   [config.WarpSize]uint64
 	// outstanding counts issued-but-incomplete load/atomic transactions;
 	// pushed reports all transactions issued. The op's warp dependency
 	// resolves when pushed && outstanding == 0.
 	outstanding int
 	pushed      bool
+	// doneFn is the per-transaction completion callback, bound once at
+	// op allocation and reused across pool cycles.
+	doneFn func(int64)
+}
+
+// getMemOp takes an op from the free list, allocating on first use.
+func (sm *SM) getMemOp() *memOp {
+	op := sm.memOpFree
+	if op == nil {
+		op = &memOp{sm: sm}
+		op.doneFn = func(cy int64) {
+			op.outstanding--
+			op.sm.memOpLineDone(op, cy)
+		}
+	} else {
+		sm.memOpFree = op.next
+		op.next = nil
+	}
+	return op
+}
+
+// putMemOp returns a fully-resolved op to the free list. The caller
+// guarantees no transaction callbacks remain in flight.
+func (sm *SM) putMemOp(op *memOp) {
+	op.w = nil
+	op.lines = nil
+	op.outstanding = 0
+	op.pushed = false
+	op.next = sm.memOpFree
+	sm.memOpFree = op
 }
 
 // Tick runs one core cycle: the LD/ST unit drains one pending
 // transaction, then each scheduler slot picks an order and the engine
 // issues at most one instruction per slot, classifying the slot's outcome
 // as issued / Idle / Scoreboard / Pipeline.
+//
+// When the policy implements OrderCacher and cycle skipping is enabled,
+// a Tick on which every slot stalls on frozen state (Idle/Scoreboard,
+// no in-flight mem op) puts the SM to sleep: subsequent Ticks return
+// immediately and the skipped cycles' stalls are accounted in bulk on
+// wake (see trySleep for the invariants).
 func (sm *SM) Tick(cycle int64) {
+	if sm.asleep {
+		if cycle < sm.wakeAt {
+			return
+		}
+		sm.wake(cycle)
+	}
 	sm.sfuToken = true
 	sm.memToken = true
 	sm.drainMemOp(cycle)
+	canSleep := sm.cycleSkipOn && sm.memOp == nil
 	for slot := 0; slot < sm.Cfg.SchedulersPerSM; slot++ {
-		sm.tickSlot(slot, cycle)
+		out := sm.tickSlot(slot, cycle)
+		sm.slotClass[slot] = out
+		if out == outIssued || out == outPipeline {
+			canSleep = false
+		}
+	}
+	if canSleep && sm.memOp == nil {
+		sm.trySleep(cycle)
+	}
+}
+
+// neverWake marks a wake-up that only an explicit event can trigger.
+const neverWake = int64(math.MaxInt64)
+
+// trySleep puts the SM to sleep after a cycle on which every slot
+// stalled with Idle or Scoreboard and the LD/ST unit is empty. The frozen
+// per-slot classification cannot change while asleep, because every state
+// transition that could change it either
+//
+//   - happens at a statically-known cycle — a register becoming ready,
+//     captured by readyAt and folded into wakeAt below, or a policy's
+//     timed refresh, bounded by TimedScheduler.NextTimedEvent — or
+//   - is driven by a wheel/assignment event that calls wakeEvent (load
+//     completion, i-buffer refill, TB assignment), which forces a full
+//     re-evaluation on the next Tick.
+//
+// Barrier releases and TB retirements only happen on the SM's own issue
+// path, which cannot run while asleep; SFU drain only affects issue
+// admission, which is irrelevant while no warp is scoreboard-ready.
+func (sm *SM) trySleep(cycle int64) {
+	wake := neverWake
+	for _, w := range sm.WarpSlots {
+		if w == nil || w.finished || w.atBar || w.ibuf == 0 {
+			continue // changes arrive via wakeEvent, not with time
+		}
+		if at := w.readyAt(w.NextInstr()); at < wake {
+			wake = at
+		}
+	}
+	if sm.timed != nil && sm.residentTBs > 0 {
+		if nt := sm.timed.NextTimedEvent(cycle); nt > cycle && nt < wake {
+			wake = nt
+		}
+	}
+	if wake <= cycle+1 {
+		return // nothing to skip
+	}
+	sm.asleep = true
+	sm.wakeAt = wake
+	sm.sleepFrom = cycle
+}
+
+// wake ends a sleep at cycle, accounting the skipped cycles' stalls;
+// cycle itself is then ticked normally by the caller.
+func (sm *SM) wake(cycle int64) {
+	sm.flushSleep(cycle - 1)
+	sm.asleep = false
+}
+
+// flushSleep accounts the frozen per-slot stall classes for all skipped
+// cycles up to and including through.
+func (sm *SM) flushSleep(through int64) {
+	if through <= sm.sleepFrom {
+		return
+	}
+	n := through - sm.sleepFrom
+	for slot, class := range sm.slotClass {
+		if class == outScoreboard {
+			sm.Stalls[slot].Scoreboard += n
+		} else {
+			sm.Stalls[slot].Idle += n
+		}
+	}
+	sm.sleepFrom = through
+}
+
+// wakeEvent forces a sleeping SM to re-evaluate on its next Tick. Called
+// from every callback that can change a warp's validity or readiness
+// outside the SM's own issue path.
+func (sm *SM) wakeEvent() {
+	if sm.asleep {
+		sm.wakeAt = 0
 	}
 }
 
@@ -214,15 +421,11 @@ func (sm *SM) drainMemOp(cycle int64) {
 			return // store buffer full; retry next cycle
 		}
 	case isa.OpLdGlobal, isa.OpAtomGlobal:
-		done := func(cy int64) {
-			op.outstanding--
-			sm.memOpLineDone(op, cy)
-		}
 		var ok bool
 		if op.kind == isa.OpLdGlobal {
-			ok = sm.Mem.LoadLine(sm.ID, line, done)
+			ok = sm.Mem.LoadLine(sm.ID, line, op.doneFn)
 		} else {
-			ok = sm.Mem.AtomicLine(sm.ID, line, done)
+			ok = sm.Mem.AtomicLine(sm.ID, line, op.doneFn)
 		}
 		if !ok {
 			return // MSHRs full; retry next cycle
@@ -237,6 +440,7 @@ func (sm *SM) drainMemOp(cycle int64) {
 			// Stores are fire-and-forget: the instruction is complete for
 			// the warp once all lines entered the store path.
 			sm.memInflight--
+			sm.putMemOp(op)
 		} else {
 			sm.memOpLineDone(op, cycle)
 		}
@@ -253,44 +457,156 @@ func (sm *SM) memOpLineDone(op *memOp, cy int64) {
 	if op.dst != isa.NoReg {
 		op.w.regReady[op.dst] = cy
 	}
+	op.w.gate = 0
+	sm.gateEpoch++
 	op.w.outstandingLoads--
 	sm.memInflight--
+	sm.wakeEvent()
+	sm.putMemOp(op)
 }
 
-func (sm *SM) tickSlot(slot int, cycle int64) {
+func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 	if sm.residentTBs == 0 {
 		sm.Stalls[slot].Idle++
-		return
+		return outIdle
 	}
-	order := sm.Sched.Order(slot, sm.orderBuf[:0], cycle)
-	sm.orderBuf = order[:0]
+	var order []*Warp
+	var gen uint64
+	skipOn := sm.cycleSkipOn
+	startIdx := 0
+	anyValid := false
+	minGate := neverWake
+	if sm.cacher != nil {
+		// OrderGen runs unconditionally — time-driven refreshes (PRO's
+		// THRESHOLD re-sort) live inside it — and its generation decides
+		// whether the cached order is still current.
+		gen = sm.cacher.OrderGen(slot, cycle)
+		if skipOn {
+			// Slot fast-forward: the last scan recorded its contiguous
+			// gated prefix. If nothing since could have changed it —
+			// same order generation, no gate-zeroing event, earliest
+			// prefix gate still in the future — the scan resumes past
+			// the prefix with its aggregate contribution; when the
+			// prefix covers the whole order, the slot repeats its
+			// outcome without touching a single warp. Stale armed
+			// records can never validate spuriously: gen and epoch
+			// only grow, and a scan only runs once this check fails.
+			sg := &sm.slotGates[slot]
+			if sg.armed && sg.gen == gen && sg.epoch == sm.gateEpoch && cycle < sg.until {
+				startIdx = sg.resume
+				anyValid = sg.valid
+				minGate = sg.until
+			}
+		}
+		oc := &sm.orderCaches[slot]
+		if sm.orderCacheOn && oc.valid && oc.gen == gen {
+			order = oc.order
+		} else {
+			oc.order = sm.Sched.Order(slot, oc.order[:0], cycle)
+			oc.gen = gen
+			oc.valid = true
+			order = oc.order
+		}
+	} else {
+		order = sm.Sched.Order(slot, sm.orderBuf[:0], cycle)
+		sm.orderBuf = order[:0]
+	}
 
-	anyValid, anyReady := false, false
-	for _, w := range order {
+	if startIdx >= len(order) && startIdx > 0 {
+		// Whole slot gated: every warp is blocked exactly as last
+		// classified.
+		if anyValid {
+			sm.Stalls[slot].Scoreboard++
+			return outScoreboard
+		}
+		sm.Stalls[slot].Idle++
+		return outIdle
+	}
+
+	// contig tracks whether every entry examined so far (including the
+	// resumed prefix) is gated strictly beyond cycle; the snapshot taken
+	// when it breaks — at the first scoreboard-ready warp — becomes the
+	// next cycle's resume point.
+	// epochStart snapshots the gate epoch before any issue this scan
+	// can perform: a tryIssue side effect that zeroes gates (a barrier
+	// release freeing warps already scanned into the prefix) bumps the
+	// live epoch, so a record armed with the snapshot self-invalidates.
+	epochStart := sm.gateEpoch
+	anyReady := false
+	contig := true
+	resumeIdx := 0
+	var pValid bool
+	pMin := neverWake
+	for idx := startIdx; idx < len(order); idx++ {
+		w := order[idx]
 		if w == nil || w.SchedSlot != slot || w.finished {
+			continue
+		}
+		if skipOn && cycle < w.gate {
+			// Still blocked as classified when the gate was set.
+			anyValid = anyValid || w.gateInstr
+			if w.gate < minGate {
+				minGate = w.gate
+			}
 			continue
 		}
 		in := w.NextInstr()
 		if in == nil {
+			// At a barrier or awaiting an i-buffer refill: both end via
+			// events that zero the gate (barrier release on the SM's
+			// own issue path, the warp's fetchDone callback).
+			w.gate, w.gateInstr = neverWake, false
 			continue
+		}
+		if !w.ScoreboardReady(in, cycle) {
+			// Blocked until the registers are ready (readyAt > cycle
+			// whenever the scoreboard blocks); a pending load gates at
+			// neverWake and its resolution zeroes the gate.
+			anyValid = true
+			w.gate, w.gateInstr = w.readyAt(in), true
+			if w.gate < minGate {
+				minGate = w.gate
+			}
+			continue
+		}
+		// Scoreboard-ready: the gated prefix ends here — this warp must
+		// be re-examined next cycle whether it issues or stays
+		// pipeline-blocked.
+		if contig {
+			contig = false
+			resumeIdx, pValid, pMin = idx, anyValid, minGate
 		}
 		anyValid = true
-		if !w.ScoreboardReady(in, cycle) {
-			continue
-		}
 		anyReady = true
 		if sm.tryIssue(w, in, cycle) {
+			if skipOn && sm.cacher != nil {
+				sm.slotGates[slot] = slotGate{until: pMin, gen: gen, epoch: epochStart, resume: resumeIdx, valid: pValid, armed: true}
+			}
 			sm.Stalls[slot].Issued++
-			return
+			return outIssued
 		}
 	}
 	switch {
 	case anyReady:
+		if skipOn && sm.cacher != nil {
+			sm.slotGates[slot] = slotGate{until: pMin, gen: gen, epoch: epochStart, resume: resumeIdx, valid: pValid, armed: true}
+		}
 		sm.Stalls[slot].Pipeline++
+		return outPipeline
 	case anyValid:
+		// Every warp is gated strictly beyond cycle, so the outcome is
+		// frozen until minGate, barring gen/epoch invalidation.
+		if skipOn && sm.cacher != nil {
+			sm.slotGates[slot] = slotGate{until: minGate, gen: gen, epoch: epochStart, resume: len(order), valid: true, armed: true}
+		}
 		sm.Stalls[slot].Scoreboard++
+		return outScoreboard
 	default:
+		if skipOn && sm.cacher != nil {
+			sm.slotGates[slot] = slotGate{until: minGate, gen: gen, epoch: epochStart, resume: len(order), valid: false, armed: true}
+		}
 		sm.Stalls[slot].Idle++
+		return outIdle
 	}
 }
 
@@ -324,12 +640,11 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 		lines := isa.LineAddrs(sm.lineBuf[:0], in.Mem, sm.Launch.Seed,
 			tb.Global, w.IDInTB, pc, iter, mask, sm.Launch.BlockThreads, sm.Cfg.L1Line)
 		sm.lineBuf = lines[:0]
-		op := &memOp{
-			w:     w,
-			dst:   in.Dst,
-			kind:  in.Op,
-			lines: append([]uint64(nil), lines...),
-		}
+		op := sm.getMemOp()
+		op.w = w
+		op.dst = in.Dst
+		op.kind = in.Op
+		op.lines = op.buf[:copy(op.buf[:], lines)]
 		sm.memOp = op
 		sm.memInflight++
 		if in.Op != isa.OpStGlobal {
@@ -358,7 +673,7 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 	case isa.OpSFU:
 		w.setRegLatency(in.Dst, cycle, int64(sm.Cfg.SFULatency))
 		sm.sfuInflight++
-		sm.Wheel.ScheduleAfter(int64(sm.Cfg.SFULatency), func(int64) { sm.sfuInflight-- })
+		sm.Wheel.ScheduleAfter(int64(sm.Cfg.SFULatency), sm.sfuDone)
 		sm.sfuToken = false
 
 	default: // SP arithmetic and control
@@ -395,7 +710,10 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 		if tb.barrierComplete() {
 			for _, sib := range tb.Warps {
 				sib.atBar = false
+				sib.gate = 0
+				sib.refreshNextInstr()
 			}
+			sm.gateEpoch++
 			tb.WarpsAtBarrier = 0
 			sm.BarrierWaitSum += cycle - tb.barrierStart
 			sm.BarrierEpisodes++
@@ -414,6 +732,7 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 	default:
 		w.advancePC()
 	}
+	w.refreshNextInstr()
 
 	sm.Sched.OnIssue(w, in, lanes, cycle)
 	return true
@@ -436,8 +755,13 @@ func (sm *SM) retireTB(tb *ThreadBlock, cycle int64) {
 	}
 }
 
-// StallTotal sums the per-slot breakdowns.
+// StallTotal sums the per-slot breakdowns, first accounting any cycles
+// skipped by an in-progress sleep up to the wheel's current cycle (the
+// GPU samples mid-run and reads the final totals through this method).
 func (sm *SM) StallTotal() stats.StallBreakdown {
+	if sm.asleep {
+		sm.flushSleep(sm.Wheel.Now())
+	}
 	var t stats.StallBreakdown
 	for _, s := range sm.Stalls {
 		t.Add(s)

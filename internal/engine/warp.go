@@ -67,6 +67,31 @@ type Warp struct {
 	// drains, a refill arrives ifetchLatency cycles later.
 	ibuf      int
 	fetchBusy bool
+
+	// gate caches the earliest cycle at which the warp could next pass
+	// the issue checks (decodable instruction + scoreboard clear), so
+	// the per-cycle order walk skips blocked warps with one compare.
+	// Valid because a blocked warp's state only changes at a
+	// statically-known cycle (readyAt, folded into gate) or via an
+	// event that zeroes the gate (i-buffer refill, load resolution,
+	// barrier release). gateInstr preserves the warp's Idle-vs-
+	// Scoreboard contribution while skipped: whether it had a decodable
+	// instruction when the gate was set (stable until the gate clears,
+	// since a gated warp cannot issue and nothing else drains its
+	// i-buffer or moves it to a barrier).
+	gate      int64
+	gateInstr bool
+
+	// nextIn caches NextInstr's result — the decoded instruction the warp
+	// would issue, nil when the warp is not Valid. Refreshed by
+	// refreshNextInstr at every site that changes the inputs (PC moves,
+	// i-buffer drain/refill, barrier entry/release, exit), so the
+	// per-cycle issue scan reads a field instead of re-deriving it.
+	nextIn *isa.Instr
+
+	// fetchDone is the i-buffer refill callback, bound once at warp
+	// creation so fetches do not allocate a closure per refill.
+	fetchDone func(int64)
 }
 
 // newWarp builds the warp in its initial state: converged at PC 0 with
@@ -95,6 +120,16 @@ func newWarp(sm *SM, tb *ThreadBlock, idInTB, slot int, cycle int64) *Warp {
 	}
 	for loopID := range l.Program.Loops {
 		w.armLoop(loopID)
+	}
+	w.fetchDone = func(int64) {
+		if !w.finished {
+			w.ibuf = sm.Cfg.IBufferEntries
+			w.fetchBusy = false
+			w.gate = 0
+			w.refreshNextInstr()
+			sm.gateEpoch++
+			sm.wakeEvent()
+		}
 	}
 	return w
 }
@@ -145,11 +180,17 @@ func (w *Warp) ActiveLanes() int { return bits.OnesCount32(w.ActiveMask()) }
 
 // NextInstr returns the instruction the warp would issue, or nil when not
 // Valid.
-func (w *Warp) NextInstr() *isa.Instr {
-	if !w.Valid() {
-		return nil
+func (w *Warp) NextInstr() *isa.Instr { return w.nextIn }
+
+// refreshNextInstr re-derives the cached NextInstr result. Must be called
+// after any change to the warp's finished/barrier/i-buffer state or its
+// program counter.
+func (w *Warp) refreshNextInstr() {
+	if w.finished || w.atBar || w.ibuf == 0 {
+		w.nextIn = nil
+		return
 	}
-	return w.TB.Launch.Program.At(w.PC())
+	w.nextIn = w.TB.Launch.Program.At(int(w.stack[len(w.stack)-1].PC))
 }
 
 // ScoreboardReady reports whether in's source and destination registers
@@ -164,6 +205,22 @@ func (w *Warp) ScoreboardReady(in *isa.Instr, cycle int64) bool {
 		}
 	}
 	return true
+}
+
+// readyAt returns the first cycle at which in's source and destination
+// registers are all available — neverWake when one awaits an in-flight
+// load (regPendingLoad), whose completion callback wakes the SM.
+func (w *Warp) readyAt(in *isa.Instr) int64 {
+	at := int64(0)
+	if in.Dst != isa.NoReg {
+		at = w.regReady[in.Dst]
+	}
+	for _, s := range in.Srcs {
+		if s != isa.NoReg && w.regReady[s] > at {
+			at = w.regReady[s]
+		}
+	}
+	return at // regPendingLoad == neverWake
 }
 
 // OutstandingLoads returns the number of global loads/atomics in flight —

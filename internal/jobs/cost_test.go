@@ -1,0 +1,79 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+func TestGridAssignsCost(t *testing.T) {
+	w, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := Grid([]*workloads.Workload{w}, []string{"LRR", "PRO"}, 6, gpu.Options{})
+	for i, j := range js {
+		want := int64(j.Launch.GridTBs) * int64(j.Launch.BlockThreads)
+		if j.Cost != want || j.Cost == 0 {
+			t.Fatalf("job %d: Cost = %d, want %d", i, j.Cost, want)
+		}
+	}
+}
+
+func TestExpensiveJobsDispatchFirst(t *testing.T) {
+	// Three jobs submitted in ascending cost order; a single worker makes
+	// completion order equal dispatch order, so the progress events must
+	// arrive in descending cost order while the results stay at their
+	// input positions.
+	w, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(tbs int, sched string) Job {
+		run := w.Shrunk(tbs)
+		return Job{
+			Launch:    run.Launch,
+			Kernel:    run.Kernel,
+			Scheduler: sched,
+			Cost:      int64(run.Launch.GridTBs) * int64(run.Launch.BlockThreads),
+		}
+	}
+	js := []Job{mk(2, "LRR"), mk(6, "GTO"), mk(4, "PRO")}
+
+	var order []string
+	e := &Engine{Workers: 1, OnProgress: func(ev Event) { order = append(order, ev.Scheduler) }}
+	rs, err := e.Run(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GTO", "PRO", "LRR"} // descending cost
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+	for i, j := range js {
+		if rs[i].Scheduler != j.Scheduler {
+			t.Fatalf("result %d is %s, want %s: cost ordering leaked into result order",
+				i, rs[i].Scheduler, j.Scheduler)
+		}
+	}
+}
+
+func TestCostDoesNotAffectResults(t *testing.T) {
+	js := testBatch(t) // Grid sets real costs
+	flat := make([]Job, len(js))
+	copy(flat, js)
+	for i := range flat {
+		flat[i].Cost = 0 // zero cost keeps plain batch order
+	}
+	costed := mustRun(t, &Engine{Workers: 3}, js)
+	plain := mustRun(t, &Engine{Workers: 3}, flat)
+	for i := range js {
+		if string(costed[i]) != string(plain[i]) {
+			t.Fatalf("job %d: cost-ordered dispatch changed the result", i)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,12 @@ type Job struct {
 	FactoryKey string
 	// Options tune the run.
 	Options gpu.Options
+	// Cost is the job's expected relative run time (any consistent unit;
+	// Grid uses launch threads = grid TBs × block size). The engine
+	// dispatches expensive jobs first so the worker pool doesn't end on
+	// one long straggler; zero-cost jobs keep batch order. Cost never
+	// affects results or their order, only scheduling.
+	Cost int64
 }
 
 // label returns the display name of the job's kernel.
@@ -237,8 +244,19 @@ func (e *Engine) Run(ctx context.Context, js []Job) ([]*stats.KernelResult, erro
 		}()
 	}
 
+	// Dispatch longest-expected jobs first (stable, so equal costs keep
+	// batch order) to cut tail latency; results[i] still lands at the
+	// job's input position.
+	order := make([]int, len(js))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return js[order[a]].Cost > js[order[b]].Cost
+	})
+
 feed:
-	for i := range js {
+	for _, i := range order {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
@@ -363,6 +381,7 @@ func Grid(ws []*workloads.Workload, scheds []string, maxTBs int, opts gpu.Option
 				Kernel:    run.Kernel,
 				Scheduler: sched,
 				Options:   opts,
+				Cost:      int64(run.Launch.GridTBs) * int64(run.Launch.BlockThreads),
 			})
 		}
 	}

@@ -41,6 +41,117 @@ type System struct {
 	chans  []*dram.Channel
 
 	storesOut []int // per-SM outstanding global stores
+
+	// Free lists of pooled request carriers. Each carrier binds its event
+	// callbacks once at first allocation, so the steady-state memory path
+	// schedules wheel/network events without allocating closures. The
+	// pools are per-System and all events of one System fire on one
+	// goroutine, so no locking is needed.
+	readFree  *readReq
+	writeFree *writeReq
+}
+
+// readReq carries one read (load/atomic) transaction through the
+// L2-access → DRAM → response chain. All callback fields close over the
+// carrier only, and are created once when the carrier is first built;
+// pooled reuse re-points the data fields and keeps the callbacks.
+type readReq struct {
+	s      *System
+	line   uint64
+	sm     int
+	p      int
+	fillL1 bool
+	dreq   dram.Request
+	next   *readReq // free-list link
+
+	start     timing.Event // request packet arrived at the partition
+	respond   timing.Event // L2 data ready: send response toward the SM
+	deliver   timing.Event // response arrived: fill the L1 side, recycle
+	dramDone  timing.Event // DRAM service done: fill the L2 side
+	retryL2   timing.Event // L2 MSHRs were full: replay the L2 access
+	retryDRAM timing.Event // DRAM queue was full: replay the enqueue
+}
+
+// getRead fetches a carrier from the free list (or builds one, binding
+// its callbacks) and points it at the given transaction.
+func (s *System) getRead(sm int, line uint64, fillL1 bool) *readReq {
+	r := s.readFree
+	if r != nil {
+		s.readFree = r.next
+		r.next = nil
+	} else {
+		r = &readReq{s: s}
+		r.start = func(int64) { r.s.l2Read(r) }
+		r.respond = func(int64) {
+			sys := r.s
+			sys.net.Send(sys.net.PartPort(sys.cfg.NumSMs, r.p), sys.cfg.L1Line, r.deliver)
+		}
+		r.deliver = func(cy int64) {
+			sys := r.s
+			if r.fillL1 {
+				sys.l1[r.sm].Fill(r.line)
+			}
+			sys.l1mshr[r.sm].Fill(r.line, cy)
+			sys.putRead(r)
+		}
+		r.dramDone = func(cy int64) {
+			sys := r.s
+			sys.l2[r.p].Fill(r.line)
+			sys.l2mshr[r.p].Fill(r.line, cy)
+		}
+		r.retryL2 = func(int64) { r.s.l2Read(r) }
+		r.retryDRAM = func(int64) { r.s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM) }
+	}
+	r.sm, r.line, r.fillL1 = sm, line, fillL1
+	r.p = s.partition(line)
+	r.dreq = dram.Request{Line: line, Done: r.dramDone}
+	return r
+}
+
+// putRead recycles a completed carrier. Called from deliver, after which
+// nothing in the hierarchy references it: the DRAM request (if any) was
+// consumed, the L2 MSHR entry was cleared by Fill, and the network has
+// delivered the response.
+func (s *System) putRead(r *readReq) {
+	r.next = s.readFree
+	s.readFree = r
+}
+
+// writeReq carries one store transaction through interconnect → L2 →
+// DRAM. Same pooling scheme as readReq.
+type writeReq struct {
+	s    *System
+	line uint64
+	sm   int
+	p    int
+	dreq dram.Request
+	next *writeReq
+
+	start     timing.Event // store packet arrived at the partition
+	release   timing.Event // store complete: free the buffer slot, recycle
+	retryDRAM timing.Event
+}
+
+func (s *System) getWrite(sm int, line uint64) *writeReq {
+	r := s.writeFree
+	if r != nil {
+		s.writeFree = r.next
+		r.next = nil
+	} else {
+		r = &writeReq{s: s}
+		r.start = func(int64) { r.s.l2Write(r) }
+		r.release = func(int64) {
+			sys := r.s
+			sys.storesOut[r.sm]--
+			r.next = sys.writeFree
+			sys.writeFree = r
+		}
+		r.retryDRAM = func(int64) { r.s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM) }
+	}
+	r.sm, r.line = sm, line
+	r.p = s.partition(line)
+	r.dreq = dram.Request{Line: line, Write: true, Done: r.release}
+	return r
 }
 
 // New builds the hierarchy described by cfg, scheduling all latencies on
@@ -143,66 +254,48 @@ func (s *System) StoreLine(sm int, line uint64) bool {
 	}
 	s.storesOut[sm]++
 	s.l1[sm].Invalidate(line)
-	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, func(int64) {
-		s.l2Write(sm, line)
-	})
+	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, s.getWrite(sm, line).start)
 	return true
 }
 
 // sendRead injects a read-request packet; fillL1 marks whether the
 // response should allocate in the SM's L1.
 func (s *System) sendRead(sm int, line uint64, fillL1 bool) {
-	s.net.Send(s.net.SMPort(sm), readReqBytes, func(int64) {
-		s.l2Read(sm, line, fillL1)
-	})
+	s.net.Send(s.net.SMPort(sm), readReqBytes, s.getRead(sm, line, fillL1).start)
 }
 
 // l2Read handles a read request arriving at line's partition.
-func (s *System) l2Read(sm int, line uint64, fillL1 bool) {
-	p := s.partition(line)
-	respond := func(int64) {
-		s.net.Send(s.net.PartPort(s.cfg.NumSMs, p), s.cfg.L1Line, func(cy int64) {
-			if fillL1 {
-				s.l1[sm].Fill(line)
-			}
-			s.l1mshr[sm].Fill(line, cy)
-		})
-	}
-	if s.l2[p].Access(line) {
-		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), respond)
+func (s *System) l2Read(r *readReq) {
+	if s.l2[r.p].Access(r.line) {
+		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), r.respond)
 		return
 	}
-	switch s.l2mshr[p].Add(line, respond) {
+	switch s.l2mshr[r.p].Add(r.line, r.respond) {
 	case cache.Allocated:
-		s.dramEnqueue(p, &dram.Request{Line: line, Done: func(cy int64) {
-			s.l2[p].Fill(line)
-			s.l2mshr[p].Fill(line, cy)
-		}})
+		s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM)
 	case cache.Merged:
 	case cache.Refused:
 		// L2 MSHRs full: retry the whole L2 access later. The L1-side MSHR
 		// entry stays allocated meanwhile, so the SM sees a longer miss.
-		s.wheel.ScheduleAfter(retryDelay, func(int64) { s.l2Read(sm, line, fillL1) })
+		s.wheel.ScheduleAfter(retryDelay, r.retryL2)
 	}
 }
 
 // l2Write handles a store arriving at line's partition: L2 write hit
 // updates in place; a miss forwards to DRAM without allocating.
-func (s *System) l2Write(sm int, line uint64) {
-	p := s.partition(line)
-	release := func(int64) { s.storesOut[sm]-- }
-	if s.l2[p].Access(line) {
-		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), release)
+func (s *System) l2Write(r *writeReq) {
+	if s.l2[r.p].Access(r.line) {
+		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), r.release)
 		return
 	}
-	s.dramEnqueue(p, &dram.Request{Line: line, Write: true, Done: release})
+	s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM)
 }
 
-// dramEnqueue offers a request to line's channel, retrying on a full
-// queue.
-func (s *System) dramEnqueue(p int, r *dram.Request) {
+// enqueueDRAM offers a request to partition p's channel, retrying on a
+// full queue via the caller's pre-bound retry event.
+func (s *System) enqueueDRAM(p int, r *dram.Request, retry timing.Event) {
 	if !s.chans[p].Enqueue(r) {
-		s.wheel.ScheduleAfter(retryDelay, func(int64) { s.dramEnqueue(p, r) })
+		s.wheel.ScheduleAfter(retryDelay, retry)
 	}
 }
 

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package resultcache
+
+import (
+	"io/fs"
+	"time"
+)
+
+// accessTime falls back to the modification time on platforms without a
+// usable atime in os.FileInfo.Sys(); Get touches both timestamps, so
+// LRU ordering still tracks cache hits.
+func accessTime(fi fs.FileInfo) time.Time {
+	return fi.ModTime()
+}

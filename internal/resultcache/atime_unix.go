@@ -1,0 +1,18 @@
+//go:build unix
+
+package resultcache
+
+import (
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// accessTime returns fi's last-access time, falling back to the
+// modification time when the platform-specific stat is unavailable.
+func accessTime(fi fs.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,109 @@
+package resultcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// GCStats reports what one GC pass found and removed.
+type GCStats struct {
+	// Entries and Bytes describe the cache before the pass.
+	Entries int
+	Bytes   int64
+	// Evicted and Freed describe what the pass removed.
+	Evicted int
+	Freed   int64
+}
+
+// GC evicts least-recently-used entries until the cache fits in maxBytes
+// (the on-disk size of the entry files; maxBytes <= 0 empties the
+// cache). Recency is the entry's access time where the filesystem
+// tracks one — Get touches its entry's timestamps explicitly, so
+// relatime/noatime mounts still observe hits — with the modification
+// time as fallback. Concurrent writers are safe: eviction races at
+// worst delete an entry that was just re-read, which is a future cache
+// miss, never an error.
+func (c *Cache) GC(maxBytes int64) (GCStats, error) {
+	type entry struct {
+		path string
+		size int64
+		used time.Time
+	}
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return GCStats{}, fmt.Errorf("resultcache: gc: %w", err)
+	}
+	var st GCStats
+	entries := make([]entry, 0, len(names))
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			continue // already evicted by a concurrent pass
+		}
+		entries = append(entries, entry{path: name, size: fi.Size(), used: accessTime(fi)})
+		st.Entries++
+		st.Bytes += fi.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].used.Equal(entries[j].used) {
+			return entries[i].used.Before(entries[j].used)
+		}
+		return entries[i].path < entries[j].path
+	})
+	total := st.Bytes
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return st, fmt.Errorf("resultcache: gc: %w", err)
+		}
+		total -= e.size
+		st.Evicted++
+		st.Freed += e.size
+	}
+	return st, nil
+}
+
+// touch marks key's entry as recently used. Best effort: a missing
+// entry or read-only directory is not an error.
+func (c *Cache) touch(key string) {
+	now := time.Now()
+	_ = os.Chtimes(c.path(key), now, now)
+}
+
+// ParseSize parses a human-friendly byte size: a plain integer is
+// bytes; suffixes K, M, G, T (case-insensitive, optionally followed by
+// "B" or "iB") scale by powers of 1024.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "K"):
+		shift, t = 10, strings.TrimSuffix(t, "K")
+	case strings.HasSuffix(t, "M"):
+		shift, t = 20, strings.TrimSuffix(t, "M")
+	case strings.HasSuffix(t, "G"):
+		shift, t = 30, strings.TrimSuffix(t, "G")
+	case strings.HasSuffix(t, "T"):
+		shift, t = 40, strings.TrimSuffix(t, "T")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("resultcache: invalid size %q", s)
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("resultcache: size %q overflows", s)
+	}
+	return n << shift, nil
+}

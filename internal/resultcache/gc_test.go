@@ -1,0 +1,132 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"0":     0,
+		"123":   123,
+		"1K":    1 << 10,
+		"1k":    1 << 10,
+		"1KB":   1 << 10,
+		"1KiB":  1 << 10,
+		"256M":  256 << 20,
+		"2G":    2 << 30,
+		"1T":    1 << 40,
+		" 64m ": 64 << 20,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "-1", "12X", "G", "1.5M", "9999999999G"} {
+		if got, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d; want error", in, got)
+		}
+	}
+}
+
+// fillCache puts n identical results under distinct keys and stamps
+// strictly increasing access times (keys[0] least recent).
+func fillCache(t *testing.T, c *Cache, dir string, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		key, err := c.Key(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(key, sampleResult()); err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = key
+	}
+	base := time.Now().Add(-time.Hour)
+	for i, key := range keys {
+		at := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, key+".json"), at, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestGCEvictsLeastRecentlyUsed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillCache(t, c, dir, 3)
+
+	// A hit refreshes recency: after this, keys[1] is the LRU entry.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("miss on a present entry")
+	}
+
+	// Size the budget so exactly one entry must go.
+	scan, err := c.GC(1 << 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Entries != 3 || scan.Evicted != 0 {
+		t.Fatalf("dry pass: %+v", scan)
+	}
+	st, err := c.GC(scan.Bytes - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 || st.Evicted != 1 || st.Freed <= 0 {
+		t.Fatalf("GC stats: %+v", st)
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least-recently-used entry survived GC")
+	}
+	for _, key := range []string{keys[0], keys[2]} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("recently used entry %s evicted", key)
+		}
+	}
+}
+
+func TestGCZeroBudgetEmptiesCache(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillCache(t, c, dir, 4)
+	st, err := c.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 4 || st.Evicted != 4 || st.Freed != st.Bytes {
+		t.Fatalf("GC stats: %+v", st)
+	}
+	for _, key := range keys {
+		if _, ok := c.Get(key); ok {
+			t.Fatal("entry survived a zero-budget GC")
+		}
+	}
+}
+
+func TestGCEmptyCache(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (GCStats{}) {
+		t.Fatalf("GC of empty cache: %+v", st)
+	}
+}

@@ -101,6 +101,7 @@ func (c *Cache) Get(key string) (*stats.KernelResult, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
+	c.touch(key)
 	return env.Result, true
 }
 

@@ -17,6 +17,7 @@ type GTO struct {
 	sm     *engine.SM
 	greedy []*engine.Warp   // per slot
 	aged   [][]*engine.Warp // per slot, oldest first
+	gens   []uint64         // per slot: order generation
 }
 
 // NewGTO is an engine.Factory.
@@ -25,11 +26,23 @@ func NewGTO(sm *engine.SM) engine.Scheduler {
 		sm:     sm,
 		greedy: make([]*engine.Warp, sm.Cfg.SchedulersPerSM),
 		aged:   make([][]*engine.Warp, sm.Cfg.SchedulersPerSM),
+		gens:   make([]uint64, sm.Cfg.SchedulersPerSM),
 	}
 }
 
 // Name implements engine.Scheduler.
 func (s *GTO) Name() string { return "GTO" }
+
+// OrderGen implements engine.OrderCacher: the order changes only when the
+// slot's greedy warp moves or its age list changes membership.
+func (s *GTO) OrderGen(slot int, _ int64) uint64 { return s.gens[slot] }
+
+// bumpAll invalidates every slot's cached order.
+func (s *GTO) bumpAll() {
+	for i := range s.gens {
+		s.gens[i]++
+	}
+}
 
 // Order implements engine.Scheduler: greedy warp first, then all warps
 // oldest-first.
@@ -47,12 +60,24 @@ func (s *GTO) Order(slot int, dst []*engine.Warp, _ int64) []*engine.Warp {
 
 // OnIssue implements engine.Scheduler: the issuing warp becomes greedy.
 func (s *GTO) OnIssue(w *engine.Warp, _ *isa.Instr, _ int, _ int64) {
-	s.greedy[w.SchedSlot] = w
+	if s.greedy[w.SchedSlot] != w {
+		s.greedy[w.SchedSlot] = w
+		s.gens[w.SchedSlot]++
+	}
+}
+
+// OnWarpFinish implements engine.Scheduler: a finished greedy warp drops
+// out of the order's head.
+func (s *GTO) OnWarpFinish(w *engine.Warp, _ int64) {
+	if s.greedy[w.SchedSlot] == w {
+		s.gens[w.SchedSlot]++
+	}
 }
 
 // OnTBAssign implements engine.Scheduler: new warps join their slot's age
 // list (they are the youngest; a stable sort keeps earlier TBs first).
 func (s *GTO) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
+	s.bumpAll()
 	for _, w := range tb.Warps {
 		s.aged[w.SchedSlot] = append(s.aged[w.SchedSlot], w)
 	}
@@ -69,6 +94,7 @@ func (s *GTO) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
 
 // OnTBRetire implements engine.Scheduler: drop the TB's warps.
 func (s *GTO) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
+	s.bumpAll()
 	for slot := range s.aged {
 		kept := s.aged[slot][:0]
 		for _, w := range s.aged[slot] {

@@ -16,16 +16,25 @@ import (
 type LRR struct {
 	engine.BasePolicy
 	sm   *engine.SM
-	last []int // per slot: warp-slot index of the last issued warp
+	last []int    // per slot: warp-slot index of the last issued warp
+	gens []uint64 // per slot: order generation
 }
 
 // NewLRR is an engine.Factory.
 func NewLRR(sm *engine.SM) engine.Scheduler {
-	return &LRR{sm: sm, last: make([]int, sm.Cfg.SchedulersPerSM)}
+	return &LRR{
+		sm:   sm,
+		last: make([]int, sm.Cfg.SchedulersPerSM),
+		gens: make([]uint64, sm.Cfg.SchedulersPerSM),
+	}
 }
 
 // Name implements engine.Scheduler.
 func (s *LRR) Name() string { return "LRR" }
+
+// OrderGen implements engine.OrderCacher: the order changes when a slot's
+// round-robin cursor moves or the SM's warp-slot population changes.
+func (s *LRR) OrderGen(slot int, _ int64) uint64 { return s.gens[slot] }
 
 // Order implements engine.Scheduler: all live warps of slot, starting
 // just after the last issued warp's slot.
@@ -47,5 +56,23 @@ func (s *LRR) Order(slot int, dst []*engine.Warp, _ int64) []*engine.Warp {
 
 // OnIssue implements engine.Scheduler.
 func (s *LRR) OnIssue(w *engine.Warp, _ *isa.Instr, _ int, _ int64) {
-	s.last[w.SchedSlot] = w.Slot
+	if s.last[w.SchedSlot] != w.Slot {
+		s.last[w.SchedSlot] = w.Slot
+		s.gens[w.SchedSlot]++
+	}
+}
+
+// OnTBAssign implements engine.Scheduler: Order reads sm.WarpSlots live,
+// so a residency change invalidates every slot's cached order.
+func (s *LRR) OnTBAssign(*engine.ThreadBlock, int64) {
+	for i := range s.gens {
+		s.gens[i]++
+	}
+}
+
+// OnTBRetire implements engine.Scheduler.
+func (s *LRR) OnTBRetire(*engine.ThreadBlock, int64) {
+	for i := range s.gens {
+		s.gens[i]++
+	}
 }

@@ -28,6 +28,10 @@ type TL struct {
 	// blocked tracks warps known (from events) to be barrier-blocked;
 	// refill must not promote them or they would wedge an active slot.
 	blocked map[*engine.Warp]bool
+	// gens are the per-slot order generations: every event hook mutates
+	// the active sets or cursors, so each bumps them all. The cache
+	// mainly wins on stalled stretches between events.
+	gens []uint64
 }
 
 // NewTL is an engine.Factory with the default active-set size.
@@ -48,12 +52,23 @@ func NewTLWithSize(size int) engine.Factory {
 			pending:   make([][]*engine.Warp, n),
 			lastIssue: make([]int, n),
 			blocked:   make(map[*engine.Warp]bool),
+			gens:      make([]uint64, n),
 		}
 	}
 }
 
 // Name implements engine.Scheduler.
 func (s *TL) Name() string { return "TL" }
+
+// OrderGen implements engine.OrderCacher.
+func (s *TL) OrderGen(slot int, _ int64) uint64 { return s.gens[slot] }
+
+// bumpAll invalidates every slot's cached order.
+func (s *TL) bumpAll() {
+	for i := range s.gens {
+		s.gens[i]++
+	}
+}
 
 // Order implements engine.Scheduler: only the active set is exposed,
 // round-robin from just after the last issued position. Liveness: every
@@ -76,6 +91,7 @@ func (s *TL) Order(slot int, dst []*engine.Warp, _ int64) []*engine.Warp {
 // OnIssue implements engine.Scheduler: update the round-robin cursor and
 // demote the warp on long-latency instructions.
 func (s *TL) OnIssue(w *engine.Warp, in *isa.Instr, _ int, _ int64) {
+	s.bumpAll()
 	slot := w.SchedSlot
 	for i, a := range s.active[slot] {
 		if a == w {
@@ -91,6 +107,7 @@ func (s *TL) OnIssue(w *engine.Warp, in *isa.Instr, _ int, _ int64) {
 // OnTBAssign implements engine.Scheduler: new warps queue as pending and
 // fill free active slots.
 func (s *TL) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
+	s.bumpAll()
 	for _, w := range tb.Warps {
 		s.pending[w.SchedSlot] = append(s.pending[w.SchedSlot], w)
 	}
@@ -101,6 +118,7 @@ func (s *TL) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
 
 // OnTBRetire implements engine.Scheduler.
 func (s *TL) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
+	s.bumpAll()
 	for _, w := range tb.Warps {
 		delete(s.blocked, w)
 	}
@@ -114,6 +132,7 @@ func (s *TL) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
 // OnBarrierArrive implements engine.Scheduler: a warp waiting for its
 // siblings leaves the active set so others can run.
 func (s *TL) OnBarrierArrive(w *engine.Warp, _ int64) {
+	s.bumpAll()
 	s.blocked[w] = true
 	s.demote(w)
 }
@@ -122,6 +141,7 @@ func (s *TL) OnBarrierArrive(w *engine.Warp, _ int64) {
 // eligible again, so refill the active sets (they may have been left
 // underfull while every pending warp was blocked).
 func (s *TL) OnBarrierRelease(tb *engine.ThreadBlock, _ int64) {
+	s.bumpAll()
 	for _, w := range tb.Warps {
 		delete(s.blocked, w)
 	}
@@ -133,6 +153,7 @@ func (s *TL) OnBarrierRelease(tb *engine.ThreadBlock, _ int64) {
 // OnWarpFinish implements engine.Scheduler: finished warps leave both
 // structures.
 func (s *TL) OnWarpFinish(w *engine.Warp, _ int64) {
+	s.bumpAll()
 	delete(s.blocked, w)
 	slot := w.SchedSlot
 	s.active[slot] = removeWarp(s.active[slot], w)

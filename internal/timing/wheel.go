@@ -31,9 +31,20 @@ type Wheel struct {
 	pending  int
 }
 
+// bucketSeed is the initial per-bucket capacity. Buckets are carved out
+// of one shared slab so a fresh wheel costs two allocations instead of a
+// growth chain per bucket; the few buckets that outgrow the seed
+// reallocate individually.
+const bucketSeed = 4
+
 // NewWheel returns a wheel positioned at cycle 0.
 func NewWheel() *Wheel {
-	return &Wheel{buckets: make([][]Event, Horizon)}
+	buckets := make([][]Event, Horizon)
+	slab := make([]Event, Horizon*bucketSeed)
+	for i := range buckets {
+		buckets[i] = slab[i*bucketSeed : i*bucketSeed : (i+1)*bucketSeed]
+	}
+	return &Wheel{buckets: buckets}
 }
 
 // Now returns the wheel's current cycle.

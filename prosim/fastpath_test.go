@@ -1,0 +1,77 @@
+package prosim_test
+
+// Differential tests for the simulation fast paths. The order cache and
+// stall-aware cycle skipping exist purely to make single simulations
+// faster; by design they must be invisible in every observable output —
+// cycles, stall breakdowns, memory counters, timelines and samples.
+// These tests run a workload × scheduler grid with each fast path
+// toggled off via the Config switches and require byte-identical
+// results against the naive reference. `make check` runs this test by
+// name; it is the gate for any change to the cycle engine.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/prosim"
+)
+
+// fastPathGrid simulates the differential grid with the given fast-path
+// switches and returns one canonical JSON encoding per run.
+func fastPathGrid(t *testing.T, disableOrderCache, disableCycleSkip bool) []string {
+	t.Helper()
+	kernels := []string{"aesEncrypt128", "scalarProdGPU", "calculate_temp"}
+	// PRO-adaptive exercises the timed-refresh path (the adaptive
+	// profiler switches phases on a schedule, not on issue events).
+	scheds := []string{"TL", "LRR", "GTO", "PRO", "PRO-adaptive"}
+	// The sampled run checks that mid-run observations (per-interval
+	// counters, TB timelines) see the same state at the same cycles.
+	opts := []prosim.Options{{}, {Timeline: true, SampleEvery: 500}}
+
+	var out []string
+	for _, k := range kernels {
+		w, err := prosim.WorkloadByKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = w.Shrunk(8)
+		for _, s := range scheds {
+			for _, o := range opts {
+				cfg := prosim.GTX480()
+				cfg.DisableOrderCache = disableOrderCache
+				cfg.DisableCycleSkip = disableCycleSkip
+				r, err := prosim.Run(cfg, w.Launch, s, o)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", k, s, err)
+				}
+				data, err := json.Marshal(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, string(data))
+			}
+		}
+	}
+	return out
+}
+
+func TestFastPathEquivalence(t *testing.T) {
+	naive := fastPathGrid(t, true, true)
+	for _, tc := range []struct {
+		name                      string
+		disableCache, disableSkip bool
+	}{
+		{"order-cache-only", false, true},
+		{"cycle-skip-only", true, false},
+		{"default-both-on", false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := fastPathGrid(t, tc.disableCache, tc.disableSkip)
+			for i := range naive {
+				if got[i] != naive[i] {
+					t.Errorf("run %d: result differs from the naive path", i)
+				}
+			}
+		})
+	}
+}
