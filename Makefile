@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath benchbuild check bench benchquick report papercheck
+.PHONY: build test vet race fastpath benchbuild daemontest check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,14 @@ benchbuild:
 	$(GO) vet .
 	$(GO) test -run '^$$' -bench '^$$' .
 
-check: vet race fastpath benchbuild
+# The daemon's concurrency surface (singleflight dedupe, NDJSON stream
+# fan-in, graceful drain) under the race detector, re-run every time:
+# these tests exercise real sockets and a re-exec'd daemon process, so
+# they must not be satisfied from the test cache.
+daemontest:
+	$(GO) test -race -count=1 ./internal/daemon ./cmd/prosimd
+
+check: vet race fastpath daemontest benchbuild
 
 # Statistically meaningful bench run for before/after comparisons:
 # 5 repetitions with allocation counts, archived under results/.

@@ -1,0 +1,88 @@
+// Command prosimd is the long-running simulation daemon: it wraps the
+// parallel job engine in an HTTP service (TCP or unix socket), keeps
+// the result cache warm across invocations of the cmd/ tools, and
+// dedupes identical in-flight work submitted by concurrent clients —
+// the second client attaches to the running simulation instead of
+// re-simulating.
+//
+// Endpoints: POST /v1/batch (NDJSON progress stream + results),
+// GET /v1/stats, POST /v1/gc. See DESIGN.md §9 for the protocol.
+//
+// Usage:
+//
+//	prosimd -cache .simcache                     # TCP on 127.0.0.1:9753
+//	prosimd -listen unix:/tmp/prosimd.sock       # unix socket
+//	prosimd -job-timeout 10m -drain 1m
+//
+// Point the clients at it:
+//
+//	report -daemon 127.0.0.1:9753
+//	sweep  -daemon unix:/tmp/prosimd.sock -threshold
+//
+// SIGINT/SIGTERM drain gracefully: the daemon stops accepting work,
+// waits up to -drain for running batches, aborts whatever is left via
+// context cancellation, and exits 0 on a clean drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9753",
+		"listen address: host:port for TCP or unix:/path/to.sock for a unix socket")
+	njobs := flag.Int("jobs", runtime.NumCPU(), "concurrent simulation workers")
+	cacheDir := flag.String("cache", "", "result-cache directory (optional; strongly recommended for a daemon)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
+	drain := flag.Duration("drain", daemon.DefaultDrainTimeout,
+		"how long a SIGINT/SIGTERM shutdown waits for running jobs before aborting them")
+	quiet := flag.Bool("quiet", false, "suppress lifecycle logging")
+	flag.Parse()
+
+	cfg := daemon.Config{
+		Workers:      *njobs,
+		CacheDir:     *cacheDir,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drain,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	d, err := daemon.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := daemon.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		cache := *cacheDir
+		if cache == "" {
+			cache = "(none)"
+		}
+		fmt.Fprintf(os.Stderr, "prosimd: listening on %s (workers %d, cache %s, drain %s)\n",
+			*listen, *njobs, cache, drain.String())
+	}
+	start := time.Now()
+	if err := d.ServeUntilSignal(l); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "prosimd: clean shutdown after %.1fs (%d jobs: %d simulated, %d replayed)\n",
+			time.Since(start).Seconds(), d.Engine().Completed(), d.Engine().Simulated(), d.Engine().Replayed())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prosimd:", err)
+	os.Exit(1)
+}

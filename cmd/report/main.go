@@ -10,11 +10,17 @@
 //	report -out results    # also write each artifact to results/
 //	report -jobs 1         # serial (bit-identical to the parallel run)
 //	report -cache .simcache  # memoize results; warm re-runs are instant
+//	report -daemon 127.0.0.1:9753  # run on a prosimd daemon instead
+//
+// With -daemon the simulations execute on a running prosimd instance
+// (sharing its warm cache and deduping against other clients); -jobs and
+// -cache then configure the daemon, not this process, and are ignored.
 //
 // Progress and timing go to stderr; stdout carries only the artifacts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/experiments"
 	"repro/internal/jobs"
 	"repro/internal/viz"
@@ -36,6 +43,7 @@ func main() {
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional; makes warm re-runs instant)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
+	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
 	flag.Parse()
 
 	emit := func(name, content string) {
@@ -55,13 +63,28 @@ func main() {
 	if !*quiet {
 		progress = jobs.PrintProgress(os.Stderr)
 	}
-	eng, err := jobs.New(*njobs, *cacheDir, progress)
-	if err != nil {
-		fatal(err)
+	var run jobs.Runner
+	var eng *jobs.Engine
+	var client *daemon.Client
+	if *daemonAddr != "" {
+		var err error
+		client, err = daemon.Dial(*daemonAddr)
+		if err != nil {
+			fatal(err)
+		}
+		client.Progress = progress
+		run = client
+	} else {
+		var err error
+		eng, err = jobs.New(*njobs, *cacheDir, progress)
+		if err != nil {
+			fatal(err)
+		}
+		run = eng
 	}
 
 	suite, err := experiments.RunSuite(workloads.All(),
-		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, eng)
+		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, run)
 	if err != nil {
 		fatal(err)
 	}
@@ -128,7 +151,7 @@ func main() {
 		aes = aes.Shrunk(*maxTBs)
 	}
 	for _, sched := range []string{"LRR", "PRO"} {
-		spans, r, err := experiments.Timeline(aes, sched, 0, eng)
+		spans, r, err := experiments.Timeline(aes, sched, 0, run)
 		if err != nil {
 			fatal(err)
 		}
@@ -139,17 +162,32 @@ func main() {
 
 	// Table IV: AES under PRO with order tracing, first batch of TBs on
 	// SM 0 (the paper shows 16 samples for its first batch of 6 TBs).
-	samples, err := experiments.OrderTrace(aes, 0, eng)
+	samples, err := experiments.OrderTrace(aes, 0, run)
 	if err != nil {
 		fatal(err)
 	}
 	emit("table4.txt", experiments.FormatOrderTrace(samples, 16))
 
-	fmt.Fprintf(os.Stderr, "report completed in %.1fs (%d jobs: %d simulated, %d cache hits)\n",
-		time.Since(start).Seconds(), eng.Completed(), eng.Simulated(), eng.Replayed())
+	if client != nil {
+		if st, err := client.Stats(context.Background()); err == nil {
+			fmt.Fprintf(os.Stderr, "report completed in %.1fs (daemon lifetime: %d jobs, %d simulated, %d replayed)\n",
+				time.Since(start).Seconds(), st.Completed, st.Simulated, st.Replayed)
+		} else {
+			fmt.Fprintf(os.Stderr, "report completed in %.1fs\n", time.Since(start).Seconds())
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "report completed in %.1fs (%d jobs: %d simulated, %d cache hits)\n",
+			time.Since(start).Seconds(), eng.Completed(), eng.Simulated(), eng.Replayed())
+	}
 
 	if *cacheGC != "" {
-		st, err := prosim.GCResultCache(*cacheDir, *cacheGC)
+		var st prosim.CacheGCStats
+		var err error
+		if client != nil {
+			st, err = client.GC(context.Background(), *cacheGC)
+		} else {
+			st, err = prosim.GCResultCache(*cacheDir, *cacheGC)
+		}
 		if err != nil {
 			fatal(err)
 		}

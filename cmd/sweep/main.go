@@ -10,14 +10,18 @@
 //
 // All points of a sweep run in parallel across -jobs workers; -cache DIR
 // memoizes every point so re-sweeping with one more kernel only
-// simulates the new points. Progress goes to stderr; stdout carries only
-// the tables.
+// simulates the new points. With -daemon ADDR the points execute on a
+// running prosimd instance instead (sharing its warm cache and deduping
+// against concurrent clients); -jobs and -cache then belong to the
+// daemon and are ignored here. Progress goes to stderr; stdout carries
+// only the tables.
 //
 // Usage:
 //
 //	sweep -ablate
 //	sweep -threshold -kernel aesEncrypt128
 //	sweep -cache .simcache
+//	sweep -daemon unix:/tmp/prosimd.sock -threshold
 package main
 
 import (
@@ -30,13 +34,16 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/jobs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
 )
 
-var eng *jobs.Engine
+// runner executes every sweep batch: a local jobs.Engine, or a
+// daemon.Client when -daemon is set.
+var runner jobs.Runner
 
 func main() {
 	ablate := flag.Bool("ablate", false, "compare PRO vs PRO-nobar (barrier-handling ablation)")
@@ -50,6 +57,7 @@ func main() {
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
+	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -71,10 +79,21 @@ func main() {
 	if !*quiet {
 		progress = jobs.PrintProgress(os.Stderr)
 	}
-	var err error
-	eng, err = jobs.New(*njobs, *cacheDir, progress)
-	if err != nil {
-		fatal(err)
+	var client *daemon.Client
+	if *daemonAddr != "" {
+		var err error
+		client, err = daemon.Dial(*daemonAddr)
+		if err != nil {
+			fatal(err)
+		}
+		client.Progress = progress
+		runner = client
+	} else {
+		eng, err := jobs.New(*njobs, *cacheDir, progress)
+		if err != nil {
+			fatal(err)
+		}
+		runner = eng
 	}
 
 	var targets []*prosim.Workload
@@ -103,7 +122,13 @@ func main() {
 	}
 
 	if *cacheGC != "" {
-		st, err := prosim.GCResultCache(*cacheDir, *cacheGC)
+		var st prosim.CacheGCStats
+		var err error
+		if client != nil {
+			st, err = client.GC(context.Background(), *cacheGC)
+		} else {
+			st, err = prosim.GCResultCache(*cacheDir, *cacheGC)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -123,9 +148,9 @@ func main() {
 	}
 }
 
-// run executes a batch through the shared engine.
+// run executes a batch through the shared runner.
 func run(batch []jobs.Job) []*stats.KernelResult {
-	rs, err := eng.Run(context.Background(), batch)
+	rs, err := runner.Run(context.Background(), batch)
 	if err != nil {
 		fatal(err)
 	}

@@ -169,7 +169,7 @@ func (p *Policy) refresh(cycle int64) {
 	if !p.slowPhase && !p.fastPhase() {
 		p.transitionToSlowPhase()
 	}
-	if cycle-p.lastSort > p.threshold {
+	if cycle-p.lastSort >= p.threshold {
 		p.lastSort = cycle
 		p.sortRem()
 		if p.trace && p.sm.ID == 0 {
@@ -199,12 +199,12 @@ func (p *Policy) OrderGen(slot int, cycle int64) uint64 {
 }
 
 // NextTimedEvent implements engine.TimedScheduler: the next cycle at
-// which refresh does something time-driven — the first cycle past the
-// re-sort threshold, or the adaptive controller's next epoch switch.
+// which refresh does something time-driven — the cycle the re-sort
+// threshold elapses, or the adaptive controller's next epoch switch.
 // A sleeping SM wakes no later than this, so lastSort and the epoch
 // boundaries advance exactly as under per-cycle ticking.
 func (p *Policy) NextTimedEvent(cycle int64) int64 {
-	next := p.lastSort + p.threshold + 1
+	next := p.lastSort + p.threshold
 	if p.adaptive != nil && p.adaptive.nextSwitch > cycle && p.adaptive.nextSwitch < next {
 		next = p.adaptive.nextSwitch
 	}

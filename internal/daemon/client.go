@@ -1,0 +1,185 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/stats"
+)
+
+// Client submits work to a running daemon. It implements jobs.Runner,
+// so everything that takes a local engine — experiments.RunSuite, the
+// cmd/ tools — can transparently target a daemon instead.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// Progress, when non-nil, receives one jobs.Event per completed job
+	// of a Run batch, translated from the daemon's stream — the same
+	// callback shape the local engine uses, so jobs.PrintProgress works
+	// unchanged. Calls arrive on Run's goroutine.
+	Progress func(jobs.Event)
+}
+
+// Dial connects to a daemon at addr — "unix:<path>" for a unix socket,
+// otherwise a TCP host:port (an explicit http:// base is also accepted)
+// — and verifies it responds to /v1/stats so a missing daemon fails
+// fast rather than on first batch.
+func Dial(addr string) (*Client, error) {
+	c := &Client{hc: &http.Client{}}
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		c.base = "http://prosimd" // authority is ignored over a socket
+		c.hc.Transport = &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", path)
+			},
+		}
+	} else if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		c.base = strings.TrimSuffix(addr, "/")
+	} else {
+		c.base = "http://" + addr
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Stats(ctx); err != nil {
+		return nil, fmt.Errorf("daemon: no daemon at %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Run implements jobs.Runner: submit the batch, relay progress events,
+// and return one result per job in job order. Like the local engine, a
+// failing job fails the batch (the daemon still finishes the others and
+// keeps their results in its cache).
+func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult, error) {
+	if len(js) == 0 {
+		return nil, nil
+	}
+	req := BatchRequest{Jobs: make([]WireJob, len(js))}
+	for i := range js {
+		wj, err := FromJob(&js[i])
+		if err != nil {
+			return nil, fmt.Errorf("daemon: job %d: %w", i, err)
+		}
+		req.Jobs[i] = wj
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: encoding batch: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var batch *Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("daemon: reading stream: %w", err)
+		}
+		switch ev.Type {
+		case "job":
+			if c.Progress != nil {
+				jev := jobs.Event{
+					Kernel:    ev.Kernel,
+					Scheduler: ev.Scheduler,
+					Done:      ev.Done,
+					Total:     ev.Total,
+					FromCache: ev.FromCache,
+					CacheHits: ev.CacheHits,
+					Elapsed:   time.Duration(ev.ElapsedMS) * time.Millisecond,
+					ETA:       time.Duration(ev.EtaMS) * time.Millisecond,
+				}
+				c.Progress(jev)
+			}
+		case "batch":
+			b := ev
+			batch = &b
+		}
+	}
+	if batch == nil {
+		return nil, fmt.Errorf("daemon: stream ended without results (daemon shut down?)")
+	}
+	if len(batch.Results) != len(js) {
+		return nil, fmt.Errorf("daemon: got %d results for %d jobs", len(batch.Results), len(js))
+	}
+	out := make([]*stats.KernelResult, len(js))
+	for i, jr := range batch.Results {
+		if jr.Err != "" {
+			return nil, fmt.Errorf("daemon: job %d (%s/%s): %s",
+				i, req.Jobs[i].Kernel, req.Jobs[i].Scheduler, jr.Err)
+		}
+		out[i] = jr.Result
+	}
+	return out, nil
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("daemon: stats: %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("daemon: stats: %w", err)
+	}
+	return &st, nil
+}
+
+// GC asks the daemon to evict result-cache entries down to size
+// (resultcache.ParseSize syntax) and returns what the pass removed.
+func (c *Client) GC(ctx context.Context, size string) (GCStats, error) {
+	body, _ := json.Marshal(GCRequest{Size: size})
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/gc", bytes.NewReader(body))
+	if err != nil {
+		return GCStats{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return GCStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return GCStats{}, fmt.Errorf("daemon: gc: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var st GCStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return GCStats{}, fmt.Errorf("daemon: gc: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,459 @@
+// Package daemon is the long-running simulation service: an HTTP server
+// (TCP or unix socket) wrapping the parallel job engine, so the result
+// cache stays warm across invocations of the cmd/ tools and identical
+// in-flight work submitted by independent clients is performed once.
+//
+// Endpoints:
+//
+//	POST /v1/batch  submit a job batch; the response streams NDJSON
+//	                progress events and ends with the results
+//	GET  /v1/stats  engine/cache/in-flight counters
+//	POST /v1/gc     evict result-cache entries down to a size budget
+//
+// Dedupe semantics (singleflight): every job with a stable identity is
+// keyed by its result-cache key. The first submission of a key becomes
+// the *leader* and runs the simulation; submissions of the same key
+// arriving while it runs *attach* to the leader's run and receive the
+// same result without simulating. Runs execute under the daemon's own
+// context, not the submitting request's, so a leader's client
+// disconnecting mid-run never aborts work that attached followers (or
+// the warm cache) still want. With a cache configured, the key dedupes
+// across time as well — the leader's Put makes every later submission a
+// cache hit.
+//
+// Shutdown: on Shutdown (cmd/prosimd wires SIGINT/SIGTERM to it) the
+// daemon stops accepting connections and drains running batches; jobs
+// still running when the drain timeout expires are aborted through
+// context cancellation (gpu.RunContext polls it), so even a stuck
+// daemon exits within a bounded delay.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/resultcache"
+	"repro/internal/stats"
+)
+
+// Config tunes a daemon.
+type Config struct {
+	// Workers is the number of concurrent simulations; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+	// CacheDir, when non-empty, backs the engine with a result cache.
+	CacheDir string
+	// JobTimeout caps one job's wall-clock time; 0 means no cap.
+	JobTimeout time.Duration
+	// DrainTimeout bounds how long Shutdown waits for running batches
+	// before aborting their jobs; 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event (batch
+	// accepted/finished, shutdown progress).
+	Logf func(format string, args ...any)
+}
+
+// DefaultDrainTimeout is the Shutdown drain bound when Config leaves it
+// zero.
+const DefaultDrainTimeout = 30 * time.Second
+
+// flight is one in-flight keyed run: the leader fills res/err and
+// closes done; followers wait on done.
+type flight struct {
+	done      chan struct{}
+	res       *stats.KernelResult
+	fromCache bool
+	err       error
+}
+
+// Daemon is the simulation service. Create with New, serve with Serve
+// (or ServeUntilSignal), stop with Shutdown.
+type Daemon struct {
+	cfg Config
+	eng *jobs.Engine
+	sem chan struct{}
+
+	// baseCtx parents every job execution; baseCancel aborts them all
+	// (the drain-timeout hammer).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	running  atomic.Int64
+	attached atomic.Int64
+	batches  atomic.Int64
+	start    time.Time
+
+	server *http.Server
+}
+
+// New builds a daemon from cfg.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	eng, err := jobs.New(cfg.Workers, cfg.CacheDir, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		eng:      eng,
+		sem:      make(chan struct{}, cfg.Workers),
+		inflight: make(map[string]*flight),
+		start:    time.Now(),
+	}
+	d.baseCtx, d.baseCancel = context.WithCancel(context.Background())
+	d.server = &http.Server{Handler: d.Handler()}
+	return d, nil
+}
+
+// Engine exposes the wrapped job engine (tests assert its counters).
+func (d *Daemon) Engine() *jobs.Engine { return d.eng }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the daemon's HTTP handler (useful for tests and for
+// mounting under an existing server).
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batch", d.handleBatch)
+	mux.HandleFunc("/v1/stats", d.handleStats)
+	mux.HandleFunc("/v1/gc", d.handleGC)
+	return mux
+}
+
+// Listen opens the daemon transport for addr: "unix:<path>" listens on
+// a unix socket (removing a stale socket file first — the daemon owns
+// its socket path), anything else is a TCP host:port.
+func Listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("daemon: stale socket: %w", err)
+		}
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Serve accepts connections on l until Shutdown (returning nil) or a
+// listener failure (returning its error).
+func (d *Daemon) Serve(l net.Listener) error {
+	err := d.server.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the daemon: stop accepting work, wait up to
+// the drain timeout for running batches, then abort leftover jobs via
+// context cancellation and close. It returns nil when everything
+// drained cleanly and the drain error otherwise.
+func (d *Daemon) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer cancel()
+	err := d.server.Shutdown(ctx)
+	if err == nil {
+		d.baseCancel() // nothing left to abort; release the context
+		return nil
+	}
+	// Drain timed out with batches still running: cancel every job and
+	// give the handlers a moment to observe it and flush their streams.
+	d.logf("daemon: drain timeout after %s, aborting in-flight jobs", d.cfg.DrainTimeout)
+	d.baseCancel()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err2 := d.server.Shutdown(ctx2); err2 != nil {
+		d.server.Close()
+	}
+	return fmt.Errorf("daemon: drain: %w", err)
+}
+
+// ServeUntilSignal serves on l until SIGINT or SIGTERM arrives, then
+// drains and returns Shutdown's result — the whole lifecycle of
+// cmd/prosimd in one call.
+func (d *Daemon) ServeUntilSignal(l net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- d.Serve(l) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		d.logf("daemon: %v: draining (timeout %s)", s, d.cfg.DrainTimeout)
+		err := d.Shutdown()
+		<-errc
+		d.logf("daemon: stopped")
+		return err
+	}
+}
+
+// runJob executes one job with singleflight dedupe: the first
+// submission of a key runs it (under the daemon's context, bounded by
+// JobTimeout), concurrent submissions of the same key attach and share
+// the outcome. waitCtx is the submitting request's context — it bounds
+// only this submission's wait, never the shared run.
+func (d *Daemon) runJob(waitCtx context.Context, j *jobs.Job) (r *stats.KernelResult, fromCache, deduped bool, err error) {
+	key, ok, err := d.eng.Key(j)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !ok {
+		// No stable identity — run without dedupe.
+		r, fromCache, err = d.execute(waitCtx, j)
+		return r, fromCache, false, err
+	}
+
+	d.mu.Lock()
+	if f := d.inflight[key]; f != nil {
+		d.mu.Unlock()
+		d.attached.Add(1)
+		defer d.attached.Add(-1)
+		select {
+		case <-f.done:
+			return f.res, f.fromCache, true, f.err
+		case <-waitCtx.Done():
+			return nil, false, false, waitCtx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	d.inflight[key] = f
+	d.mu.Unlock()
+
+	f.res, f.fromCache, f.err = d.execute(waitCtx, j)
+	d.mu.Lock()
+	delete(d.inflight, key)
+	d.mu.Unlock()
+	close(f.done)
+	return f.res, f.fromCache, false, f.err
+}
+
+// execute waits for a worker slot and runs j through the engine. The
+// run itself is bound to the daemon's lifetime (plus JobTimeout), not
+// to the submitting request: followers may be attached to it. waitCtx
+// only bounds the slot wait.
+func (d *Daemon) execute(waitCtx context.Context, j *jobs.Job) (*stats.KernelResult, bool, error) {
+	select {
+	case d.sem <- struct{}{}:
+	case <-waitCtx.Done():
+		return nil, false, waitCtx.Err()
+	case <-d.baseCtx.Done():
+		return nil, false, fmt.Errorf("daemon: shutting down: %w", d.baseCtx.Err())
+	}
+	defer func() { <-d.sem }()
+
+	d.running.Add(1)
+	defer d.running.Add(-1)
+
+	ctx := d.baseCtx
+	if d.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.JobTimeout)
+		defer cancel()
+	}
+	return d.eng.RunJob(ctx, j)
+}
+
+// handleBatch streams a batch execution: one NDJSON job event per
+// completion (strictly increasing seq), then one batch line with the
+// results in job order. Individual job failures are reported per job
+// and do not abort the rest of the batch.
+func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	js := make([]jobs.Job, len(req.Jobs))
+	for i := range req.Jobs {
+		j, err := req.Jobs[i].Job()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad job %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		js[i] = j
+	}
+	d.batches.Add(1)
+	d.logf("daemon: batch of %d job(s) from %s", len(js), r.RemoteAddr)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var (
+		emu     sync.Mutex
+		enc     = json.NewEncoder(w)
+		seq     int
+		hits    int
+		free    int // hits + deduped: jobs that cost this batch ~nothing
+		start   = time.Now()
+		results = make([]JobResult, len(js))
+		wg      sync.WaitGroup
+	)
+	emit := func(ev *Event) {
+		emu.Lock()
+		defer emu.Unlock()
+		seq++
+		ev.Seq = seq
+		ev.Done = seq
+		ev.Total = len(js)
+		if ev.FromCache {
+			hits++
+		}
+		if ev.FromCache || ev.Deduped {
+			free++
+		}
+		ev.CacheHits = hits
+		elapsed := time.Since(start)
+		ev.ElapsedMS = elapsed.Milliseconds()
+		// Remaining-time estimate from the pace of simulated jobs: cache
+		// hits and dedup attaches are near-instant and would collapse the
+		// mean (the warm-cache ETA-skew bug of jobs.Run).
+		if ev.Done < ev.Total {
+			pace := seq - free
+			if pace <= 0 {
+				pace = seq
+			}
+			ev.EtaMS = (elapsed / time.Duration(pace) *
+				time.Duration(ev.Total-ev.Done)).Milliseconds()
+		}
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	for i := range js {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, fromCache, deduped, err := d.runJob(r.Context(), &js[i])
+			ev := Event{
+				Type:      "job",
+				Index:     i,
+				Kernel:    jobLabel(&js[i]),
+				Scheduler: schedLabel(&js[i]),
+				FromCache: fromCache,
+				Deduped:   deduped,
+			}
+			if err != nil {
+				ev.Err = err.Error()
+				results[i] = JobResult{Err: err.Error()}
+			} else {
+				results[i] = JobResult{Result: res}
+			}
+			emit(&ev)
+		}(i)
+	}
+	wg.Wait()
+
+	emu.Lock()
+	defer emu.Unlock()
+	enc.Encode(&Event{Type: "batch", Results: results})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	d.logf("daemon: batch done in %.1fs (%d job(s), %d cached)",
+		time.Since(start).Seconds(), len(js), hits)
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{
+		Completed: d.eng.Completed(),
+		Simulated: d.eng.Simulated(),
+		Replayed:  d.eng.Replayed(),
+		InFlight:  d.running.Load(),
+		Attached:  d.attached.Load(),
+		Batches:   d.batches.Load(),
+		UptimeSec: time.Since(d.start).Seconds(),
+		Workers:   d.cfg.Workers,
+	}
+	if c := d.eng.Cache; c != nil {
+		st.CacheDir = c.Dir()
+		st.CacheHits = c.Hits()
+		st.CacheMisses = c.Misses()
+		st.CacheWrites = c.Writes()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.eng.Cache == nil {
+		http.Error(w, "daemon runs without a result cache", http.StatusBadRequest)
+		return
+	}
+	var req GCRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad gc request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxBytes, err := resultcache.ParseSize(req.Size)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := d.eng.Cache.GC(maxBytes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	d.logf("daemon: gc to %s: evicted %d of %d entries, freed %d bytes (%d stale tmp)",
+		req.Size, st.Evicted, st.Entries, st.Freed, st.TmpFiles)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// jobLabel mirrors jobs.Job.label for event reporting.
+func jobLabel(j *jobs.Job) string {
+	if j.Kernel != "" {
+		return j.Kernel
+	}
+	if j.Launch != nil && j.Launch.Program != nil {
+		return j.Launch.Program.Name
+	}
+	return "?"
+}
+
+// schedLabel mirrors jobs.Job.schedLabel for event reporting.
+func schedLabel(j *jobs.Job) string {
+	if j.Factory != nil {
+		if j.FactoryKey != "" {
+			return j.FactoryKey
+		}
+		return "custom"
+	}
+	return j.Scheduler
+}

@@ -1,0 +1,177 @@
+// Wire protocol of the simulation daemon. Everything crossing the
+// socket is JSON: a batch request carries self-contained job specs
+// (config, launch — program included — scheduler spec, options), the
+// response is an NDJSON stream of per-job progress events terminated by
+// one batch line holding the results in job order.
+//
+// A wire job names its scheduling policy by *spec* rather than by
+// factory: either a registered name ("PRO", "GTO") or a parameterized
+// PRO-family form ("PRO+threshold=500", "PRO+ordertrace+threshold=
+// default") — exactly the strings local jobs already use as FactoryKey
+// cache identities. The daemon resolves specs through schedreg.Resolve,
+// so a job serialized by a client keys to the same result-cache entry a
+// local run of the same job would.
+package daemon
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/jobs"
+	"repro/internal/resultcache"
+	"repro/internal/schedreg"
+	"repro/internal/stats"
+)
+
+// WireJob is the JSON form of one simulation job.
+type WireJob struct {
+	// Config is the simulated GPU; nil means the paper's GTX480.
+	Config *config.Config `json:"config,omitempty"`
+	// Launch is the kernel launch, program included — wire jobs are
+	// self-contained, the daemon holds no workload table.
+	Launch *engine.Launch `json:"launch"`
+	// Kernel labels the job in progress events.
+	Kernel string `json:"kernel,omitempty"`
+	// Scheduler is the policy spec (see schedreg.Resolve).
+	Scheduler string `json:"scheduler"`
+	// Options tune the run.
+	Options gpu.Options `json:"options"`
+	// Cost is the job's expected relative run time (informational).
+	Cost int64 `json:"cost,omitempty"`
+}
+
+// Job converts the wire form into an executable job. Plain names pass
+// through as Job.Scheduler; parameterized specs resolve to a factory
+// with the spec as FactoryKey — either way the cache key matches the
+// local execution path for the same job.
+func (wj *WireJob) Job() (jobs.Job, error) {
+	j := jobs.Job{
+		Config:  wj.Config,
+		Launch:  wj.Launch,
+		Kernel:  wj.Kernel,
+		Options: wj.Options,
+		Cost:    wj.Cost,
+	}
+	if j.Launch == nil {
+		return jobs.Job{}, fmt.Errorf("daemon: wire job has no launch")
+	}
+	if strings.Contains(wj.Scheduler, "+") {
+		f, err := schedreg.Resolve(wj.Scheduler)
+		if err != nil {
+			return jobs.Job{}, err
+		}
+		j.Factory, j.FactoryKey = f, wj.Scheduler
+	} else {
+		j.Scheduler = wj.Scheduler
+	}
+	return j, nil
+}
+
+// FromJob converts a local job to wire form. A factory job is
+// representable only when its FactoryKey is a resolvable spec — an
+// anonymous closure cannot cross a process boundary.
+func FromJob(j *jobs.Job) (WireJob, error) {
+	wj := WireJob{
+		Config:  j.Config,
+		Launch:  j.Launch,
+		Kernel:  j.Kernel,
+		Options: j.Options,
+		Cost:    j.Cost,
+	}
+	if j.Factory == nil {
+		wj.Scheduler = j.Scheduler
+		return wj, nil
+	}
+	if j.FactoryKey == "" {
+		return WireJob{}, fmt.Errorf("daemon: job with anonymous factory cannot be submitted remotely")
+	}
+	if _, err := schedreg.Resolve(j.FactoryKey); err != nil {
+		return WireJob{}, fmt.Errorf("daemon: factory key is not a wire-resolvable spec: %w", err)
+	}
+	wj.Scheduler = j.FactoryKey
+	return wj, nil
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Jobs []WireJob `json:"jobs"`
+}
+
+// Event is one NDJSON line of a batch response. Type "job" reports one
+// completed job; the final line has Type "batch" and carries Results.
+type Event struct {
+	Type string `json:"type"`
+
+	// Job-event fields.
+	//
+	// Seq is the 1-based completion sequence within the batch, strictly
+	// increasing across the stream; Index is the job's position in the
+	// submitted batch (completion order is not submission order).
+	Seq   int `json:"seq,omitempty"`
+	Index int `json:"index,omitempty"`
+	// Kernel and Scheduler identify the job.
+	Kernel    string `json:"kernel,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	// Done counts completed jobs of this batch, Total its size.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// FromCache marks a result replayed from the result cache; Deduped
+	// marks one obtained by attaching to another submission's in-flight
+	// run of the identical job.
+	FromCache bool `json:"fromCache,omitempty"`
+	Deduped   bool `json:"deduped,omitempty"`
+	// CacheHits counts replayed results so far in this batch.
+	CacheHits int `json:"cacheHits,omitempty"`
+	// ElapsedMS is milliseconds since the batch started; EtaMS estimates
+	// the remaining time from the pace of simulated jobs.
+	ElapsedMS int64 `json:"elapsedMs,omitempty"`
+	EtaMS     int64 `json:"etaMs,omitempty"`
+	// Err is the job's failure, if any (the batch keeps running).
+	Err string `json:"err,omitempty"`
+
+	// Batch-line field: one entry per job, in job order.
+	Results []JobResult `json:"results,omitempty"`
+}
+
+// JobResult is one job's outcome on the final batch line.
+type JobResult struct {
+	Result *stats.KernelResult `json:"result,omitempty"`
+	Err    string              `json:"err,omitempty"`
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	// Engine-lifetime job counters (across every batch and client since
+	// the daemon started).
+	Completed int64 `json:"completed"`
+	Simulated int64 `json:"simulated"`
+	Replayed  int64 `json:"replayed"`
+	// Result-cache counters; zero when the daemon runs cacheless.
+	CacheDir    string `json:"cacheDir,omitempty"`
+	CacheHits   int64  `json:"cacheHits"`
+	CacheMisses int64  `json:"cacheMisses"`
+	CacheWrites int64  `json:"cacheWrites"`
+	// InFlight counts jobs currently executing or queued for a worker
+	// slot; Attached counts submissions currently waiting on another
+	// client's identical in-flight run.
+	InFlight int64 `json:"inFlight"`
+	Attached int64 `json:"attached"`
+	// Batches counts batch requests accepted since start.
+	Batches int64 `json:"batches"`
+	// UptimeSec is seconds since the daemon started.
+	UptimeSec float64 `json:"uptimeSec"`
+	// Workers is the worker-slot count.
+	Workers int `json:"workers"`
+}
+
+// GCRequest is the body of POST /v1/gc: evict least-recently-used cache
+// entries down to Size (resultcache.ParseSize syntax, e.g. "256M").
+type GCRequest struct {
+	Size string `json:"size"`
+}
+
+// GCStats aliases the cache GC report for wire use.
+type GCStats = resultcache.GCStats

@@ -29,18 +29,17 @@ type Suite struct {
 }
 
 // RunSuite simulates every workload in ws under every named scheduler on
-// the GTX480 configuration through the parallel job engine. maxTBs > 0
-// shrinks grids (for quick runs and benches); 0 runs the full scaled
-// grids. eng controls parallelism, caching and progress reporting; nil
-// uses a default engine (one worker per core, no cache). The simulator
-// is deterministic and results are assembled in job order, so the Suite
-// contents do not depend on the worker count.
-func RunSuite(ws []*workloads.Workload, scheds []string, maxTBs int, eng *jobs.Engine) (*Suite, error) {
-	if eng == nil {
-		eng = &jobs.Engine{}
-	}
+// the GTX480 configuration through a job runner: a local engine (which
+// controls parallelism, caching and progress reporting) or a daemon
+// client. maxTBs > 0 shrinks grids (for quick runs and benches); 0 runs
+// the full scaled grids. run may be nil — a default engine (one worker
+// per core, no cache) is used. The simulator is deterministic and
+// results are assembled in job order, so the Suite contents do not
+// depend on the worker count or on where the jobs execute.
+func RunSuite(ws []*workloads.Workload, scheds []string, maxTBs int, run jobs.Runner) (*Suite, error) {
+	run = runnerOrDefault(run)
 	batch := jobs.Grid(ws, scheds, maxTBs, gpu.Options{})
-	results, err := eng.Run(context.Background(), batch)
+	results, err := run.Run(context.Background(), batch)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -224,21 +223,19 @@ func (s *Suite) ComputeTable3() *Table3 {
 // ---- Fig. 2: thread-block timelines ----
 
 // Timeline runs one workload under one scheduler with span recording and
-// returns the spans for a single SM (the paper plots SM 0). eng may be
+// returns the spans for a single SM (the paper plots SM 0). run may be
 // nil (direct run, no cache).
-func Timeline(w *workloads.Workload, sched string, smID int, eng *jobs.Engine) ([]stats.TBSpan, *stats.KernelResult, error) {
-	if eng == nil {
-		eng = &jobs.Engine{}
-	}
-	r, err := eng.RunOne(context.Background(), jobs.Job{
+func Timeline(w *workloads.Workload, sched string, smID int, run jobs.Runner) ([]stats.TBSpan, *stats.KernelResult, error) {
+	rs, err := runnerOrDefault(run).Run(context.Background(), []jobs.Job{{
 		Launch:    w.Launch,
 		Kernel:    w.Kernel,
 		Scheduler: sched,
 		Options:   prosim.Options{Timeline: true},
-	})
+	}})
 	if err != nil {
 		return nil, nil, err
 	}
+	r := rs[0]
 	var spans []stats.TBSpan
 	for _, sp := range r.Timeline {
 		if sp.SM == smID {
@@ -251,23 +248,32 @@ func Timeline(w *workloads.Workload, sched string, smID int, eng *jobs.Engine) (
 // ---- Table IV: PRO's sorted TB order over time ----
 
 // OrderTrace runs w under PRO with order tracing and returns the SM-0
-// samples. eng may be nil (direct run, no cache).
-func OrderTrace(w *workloads.Workload, threshold int64, eng *jobs.Engine) ([]stats.OrderSample, error) {
-	if eng == nil {
-		eng = &jobs.Engine{}
-	}
+// samples. run may be nil (direct run, no cache).
+func OrderTrace(w *workloads.Workload, threshold int64, run jobs.Runner) ([]stats.OrderSample, error) {
 	key := "PRO+ordertrace+threshold=default"
 	if threshold > 0 {
 		key = fmt.Sprintf("PRO+ordertrace+threshold=%d", threshold)
 	}
-	r, err := eng.RunOne(context.Background(), jobs.Job{
+	rs, err := runnerOrDefault(run).Run(context.Background(), []jobs.Job{{
 		Launch:     w.Launch,
 		Kernel:     w.Kernel,
 		Factory:    prosim.PRO(proTraceOptions(threshold)...),
 		FactoryKey: key,
-	})
+	}})
 	if err != nil {
 		return nil, err
 	}
-	return r.OrderTrace, nil
+	return rs[0].OrderTrace, nil
+}
+
+// runnerOrDefault substitutes a default local engine for a nil runner
+// (including a typed-nil *jobs.Engine hiding inside the interface).
+func runnerOrDefault(run jobs.Runner) jobs.Runner {
+	if run == nil {
+		return &jobs.Engine{}
+	}
+	if e, ok := run.(*jobs.Engine); ok && e == nil {
+		return &jobs.Engine{}
+	}
+	return run
 }

@@ -107,6 +107,14 @@ type Event struct {
 // simulator.
 func (e Event) Simulated() int { return e.Done - e.CacheHits }
 
+// Runner executes batches of simulation jobs and returns one result per
+// job, in job order. Both the local Engine and the daemon client
+// (internal/daemon) implement it, so harness code can target either a
+// worker pool in-process or a long-running simulation service.
+type Runner interface {
+	Run(ctx context.Context, js []Job) ([]*stats.KernelResult, error)
+}
+
 // Engine runs batches of jobs. The zero value is valid: NumCPU workers,
 // no cache, no progress reporting.
 type Engine struct {
@@ -214,9 +222,7 @@ func (e *Engine) Run(ctx context.Context, js []Job) ([]*stats.KernelResult, erro
 			CacheHits: hits,
 			Elapsed:   time.Since(start),
 		}
-		if done > 0 && done < ev.Total {
-			ev.ETA = time.Duration(int64(ev.Elapsed) / int64(done) * int64(ev.Total-done))
-		}
+		ev.ETA = eta(ev.Elapsed, done, hits, len(js))
 		cb := e.OnProgress
 		if cb != nil {
 			cb(ev)
@@ -232,7 +238,7 @@ func (e *Engine) Run(ctx context.Context, js []Job) ([]*stats.KernelResult, erro
 				if ctx.Err() != nil {
 					return
 				}
-				r, fromCache, err := e.runOne(&js[i])
+				r, fromCache, err := e.runOne(ctx, &js[i])
 				if err != nil {
 					fail(fmt.Errorf("jobs: job %d (%s/%s): %w",
 						i, js[i].label(), js[i].schedLabel(), err))
@@ -278,9 +284,67 @@ feed:
 	return results, nil
 }
 
+// eta estimates the remaining wall time of a batch after done of total
+// jobs finished in elapsed, hits of them replayed from the cache. The
+// pace comes from *simulated* jobs only: cache hits complete in
+// microseconds, so a warm batch's mean-over-everything pace would
+// report a near-zero ETA while minutes of cold simulations remain.
+// Remaining jobs are assumed cold (an upper bound — some may hit).
+// Before the first simulated job finishes the overall pace is all
+// there is, and for a fully-replayed batch it is also correct.
+func eta(elapsed time.Duration, done, hits, total int) time.Duration {
+	if done == 0 || done >= total {
+		return 0
+	}
+	pace := done
+	if sim := done - hits; sim > 0 {
+		pace = sim
+	}
+	return elapsed / time.Duration(pace) * time.Duration(total-done)
+}
+
+// resolve returns the policy factory for j and the stable scheduler
+// identity the result cache keys it under. The identity is "" for an
+// anonymous factory (Factory set, FactoryKey empty): such a job runs
+// but can be neither cached nor deduped.
+func (j *Job) resolve() (engine.Factory, string, error) {
+	if j.Factory != nil {
+		return j.Factory, j.FactoryKey, nil
+	}
+	f, err := schedreg.New(j.Scheduler)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, j.Scheduler, nil
+}
+
+// Key returns the content-addressed identity of j — the exact key the
+// result cache files its entry under — and whether j has one (jobs with
+// an anonymous factory do not). The key is stable across processes and
+// engines at the same cache schema version, which is what lets a daemon
+// dedupe in-flight work submitted by independent clients.
+func (e *Engine) Key(j *Job) (key string, ok bool, err error) {
+	_, schedID, err := j.resolve()
+	if err != nil || schedID == "" {
+		return "", false, err
+	}
+	cfg := j.Config
+	if cfg == nil {
+		cfg = config.GTX480()
+	}
+	desc := cacheKey{Config: cfg, Launch: j.Launch, Scheduler: schedID, Options: j.Options}
+	if e.Cache != nil {
+		key, err = e.Cache.Key(desc)
+	} else {
+		key, err = resultcache.Key(resultcache.SchemaVersion, desc)
+	}
+	return key, err == nil, err
+}
+
 // runOne resolves, memoizes and executes a single job, converting any
-// panic into an error.
-func (e *Engine) runOne(j *Job) (r *stats.KernelResult, fromCache bool, err error) {
+// panic into an error. ctx aborts an in-flight simulation within a
+// bounded delay (see gpu.RunContext).
+func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fromCache bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
@@ -291,13 +355,9 @@ func (e *Engine) runOne(j *Job) (r *stats.KernelResult, fromCache bool, err erro
 	if cfg == nil {
 		cfg = config.GTX480()
 	}
-	factory := j.Factory
-	schedID := j.FactoryKey
-	if factory == nil {
-		if factory, err = schedreg.New(j.Scheduler); err != nil {
-			return nil, false, err
-		}
-		schedID = j.Scheduler
+	factory, schedID, err := j.resolve()
+	if err != nil {
+		return nil, false, err
 	}
 
 	var key string
@@ -314,7 +374,7 @@ func (e *Engine) runOne(j *Job) (r *stats.KernelResult, fromCache bool, err erro
 		}
 	}
 
-	r, err = gpu.Run(cfg, j.Launch, factory, j.Options)
+	r, err = gpu.RunContext(ctx, cfg, j.Launch, factory, j.Options)
 	if err != nil {
 		return nil, false, err
 	}
@@ -324,6 +384,26 @@ func (e *Engine) runOne(j *Job) (r *stats.KernelResult, fromCache bool, err erro
 		}
 	}
 	return r, false, nil
+}
+
+// RunJob executes one job synchronously on the caller's goroutine,
+// bypassing the batch worker pool but keeping the cache and the
+// engine-lifetime counters — the daemon's per-job entry point, where
+// concurrency, progress streaming and dedupe live above the engine. It
+// additionally reports whether the result was replayed from the cache.
+func (e *Engine) RunJob(ctx context.Context, j *Job) (*stats.KernelResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("jobs: %w", err)
+	}
+	r, fromCache, err := e.runOne(ctx, j)
+	if err != nil {
+		return nil, false, fmt.Errorf("jobs: job (%s/%s): %w", j.label(), j.schedLabel(), err)
+	}
+	e.completed.Add(1)
+	if fromCache {
+		e.replayed.Add(1)
+	}
+	return r, fromCache, nil
 }
 
 // RunOne is the single-job convenience: it runs j synchronously through

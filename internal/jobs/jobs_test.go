@@ -3,9 +3,11 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/gpu"
@@ -257,5 +259,89 @@ func TestGridOrderIsSchedulerMajorPerWorkload(t *testing.T) {
 		if j.Launch.GridTBs > 10 {
 			t.Fatalf("job %d grid not shrunk: %d", i, j.Launch.GridTBs)
 		}
+	}
+}
+
+func TestETAUsesSimulatedPace(t *testing.T) {
+	// 10 jobs, 4 done in 4s — but 3 of those were cache hits: only one
+	// job was actually simulated, so the remaining 6 should be estimated
+	// at ~4s each, not at the collapsed mean of 1s.
+	got := eta(4*time.Second, 4, 3, 10)
+	if got != 24*time.Second {
+		t.Fatalf("eta = %v, want 24s (pace of simulated jobs)", got)
+	}
+	// All-hits warm run: no simulated pace to extrapolate, fall back to
+	// the overall pace.
+	if got := eta(4*time.Second, 4, 4, 10); got != 6*time.Second {
+		t.Fatalf("all-hit eta = %v, want 6s (overall pace)", got)
+	}
+	if eta(time.Second, 0, 0, 10) != 0 {
+		t.Fatal("eta before the first completion should be 0")
+	}
+	if eta(time.Second, 10, 2, 10) != 0 {
+		t.Fatal("eta after the last completion should be 0")
+	}
+}
+
+func TestContextCancelAbortsLongJob(t *testing.T) {
+	w, err := workloads.ByKernel("scalarProdGPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full grid simulates for roughly a second; cancelling shortly
+	// after the start must abort it long before it finishes.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	e := &Engine{Workers: 1}
+	start := time.Now()
+	_, _, err = e.RunJob(ctx, &Job{Launch: w.Launch, Kernel: w.Kernel, Scheduler: "PRO"})
+	if err == nil {
+		t.Fatal("cancelled job completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; the simulation ran to completion", d)
+	}
+}
+
+func TestKeyMatchesCachedEntries(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Workers: 1, Cache: cache}
+	j := Job{Launch: w.Shrunk(4).Launch, Kernel: w.Kernel, Scheduler: "LRR"}
+	key, ok, err := e.Key(&j)
+	if err != nil || !ok {
+		t.Fatalf("Key: %v, ok=%v", err, ok)
+	}
+	if _, err := e.RunOne(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := cache.Get(key); !hit {
+		t.Fatal("Engine.Key does not address the entry RunOne wrote")
+	}
+
+	// An anonymous factory has no stable identity.
+	j2 := Job{Launch: w.Shrunk(4).Launch, Factory: sched.NewLRR}
+	if _, ok, err := e.Key(&j2); err != nil || ok {
+		t.Fatalf("anonymous factory got a key (ok=%v, err=%v)", ok, err)
+	}
+
+	// Without a cache the key must still be derivable (the daemon
+	// dedupes in-flight work even when running cacheless).
+	e2 := &Engine{}
+	key2, ok, err := e2.Key(&j)
+	if err != nil || !ok || key2 != key {
+		t.Fatalf("cacheless Key = %q, ok=%v, err=%v; want %q", key2, ok, err, key)
 	}
 }

@@ -12,13 +12,27 @@ import (
 
 // GCStats reports what one GC pass found and removed.
 type GCStats struct {
-	// Entries and Bytes describe the cache before the pass.
+	// Entries and Bytes describe the cache before the pass. Bytes
+	// includes stale temp files, so the directory's true footprint is
+	// visible even when killed writers littered it.
 	Entries int
 	Bytes   int64
-	// Evicted and Freed describe what the pass removed.
+	// Evicted and Freed describe what the pass removed (Freed includes
+	// stale temp files).
 	Evicted int
 	Freed   int64
+	// TmpFiles and TmpBytes count the stale put-*.tmp files removed:
+	// temp files abandoned by a writer that died between CreateTemp and
+	// Rename. Fresh temp files (a Put in flight) are never touched.
+	TmpFiles int
+	TmpBytes int64
 }
+
+// tmpMaxAge is the safety margin before an orphaned put-*.tmp file is
+// considered abandoned. A live Put holds its temp file for milliseconds
+// (one JSON encode plus a write and rename), so anything this old
+// belongs to a killed process.
+const tmpMaxAge = time.Hour
 
 // GC evicts least-recently-used entries until the cache fits in maxBytes
 // (the on-disk size of the entry files; maxBytes <= 0 empties the
@@ -39,6 +53,9 @@ func (c *Cache) GC(maxBytes int64) (GCStats, error) {
 		return GCStats{}, fmt.Errorf("resultcache: gc: %w", err)
 	}
 	var st GCStats
+	if err := c.gcTmp(&st); err != nil {
+		return st, err
+	}
 	entries := make([]entry, 0, len(names))
 	for _, name := range names {
 		fi, err := os.Stat(name)
@@ -55,7 +72,7 @@ func (c *Cache) GC(maxBytes int64) (GCStats, error) {
 		}
 		return entries[i].path < entries[j].path
 	})
-	total := st.Bytes
+	total := st.Bytes - st.TmpBytes // stale tmp files are already gone
 	for _, e := range entries {
 		if total <= maxBytes {
 			break
@@ -71,6 +88,39 @@ func (c *Cache) GC(maxBytes int64) (GCStats, error) {
 		st.Freed += e.size
 	}
 	return st, nil
+}
+
+// gcTmp removes abandoned put-*.tmp files — the atomic-write temp files
+// a killed run leaves behind, which Glob("*.json") never sees and which
+// would otherwise accumulate forever. Only files older than tmpMaxAge
+// go, so a concurrent Put's in-flight temp file is never pulled out from
+// under it.
+func (c *Cache) gcTmp(st *GCStats) error {
+	tmps, err := filepath.Glob(filepath.Join(c.dir, "put-*.tmp"))
+	if err != nil {
+		return fmt.Errorf("resultcache: gc: %w", err)
+	}
+	cutoff := time.Now().Add(-tmpMaxAge)
+	for _, name := range tmps {
+		fi, err := os.Stat(name)
+		if err != nil {
+			continue // already renamed or removed by its writer
+		}
+		if fi.ModTime().After(cutoff) {
+			continue // a Put may still be writing it
+		}
+		st.Bytes += fi.Size()
+		if err := os.Remove(name); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("resultcache: gc: %w", err)
+		}
+		st.TmpFiles++
+		st.TmpBytes += fi.Size()
+		st.Freed += fi.Size()
+	}
+	return nil
 }
 
 // touch marks key's entry as recently used. Best effort: a missing

@@ -130,3 +130,80 @@ func TestGCEmptyCache(t *testing.T) {
 		t.Fatalf("GC of empty cache: %+v", st)
 	}
 }
+
+func TestGCRemovesStaleTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillCache(t, c, dir, 2)
+
+	// A leftover from a killed Put, old enough to be garbage; and a
+	// young one that may belong to a Put racing this GC pass.
+	stale := filepath.Join(dir, "put-dead123.tmp")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, "put-live456.tmp")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.GC(1 << 62) // budget high enough that no entry is evicted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TmpFiles != 1 || st.TmpBytes != int64(len("partial")) {
+		t.Fatalf("tmp stats: %+v", st)
+	}
+	if st.Freed != st.TmpBytes || st.Evicted != 0 {
+		t.Fatalf("stale tmp bytes not accounted as freed: %+v", st)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale tmp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh tmp file (possibly a racing Put) was removed")
+	}
+	for _, key := range keys {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("real entry %s evicted by tmp cleanup", key)
+		}
+	}
+}
+
+func TestGCTmpBytesDoNotInflateEvictionBudget(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCache(t, c, dir, 2)
+
+	// A huge stale tmp file must not count against the entry budget:
+	// after it is deleted the two real entries fit and none is evicted.
+	scan, err := c.GC(1 << 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "put-huge.tmp")
+	if err := os.WriteFile(stale, make([]byte, 4*scan.Bytes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.GC(scan.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("stale tmp bytes inflated the eviction budget: %+v", st)
+	}
+}

@@ -29,7 +29,11 @@ import (
 // simulator's observable behaviour changes (new counters, timing-model
 // fixes, KernelResult field changes): the version participates in every
 // key, so stale entries from older schemas can never hit.
-const SchemaVersion = 1
+//
+// v2: PRO re-sort cadence fix — the THRESHOLD refresh now fires every
+// THRESHOLD cycles instead of every THRESHOLD+1, shifting PRO-family
+// cycle counts.
+const SchemaVersion = 2
 
 // Cache is a content-addressed store of KernelResults in one directory.
 // All methods are safe for concurrent use.
@@ -70,12 +74,18 @@ func OpenVersion(dir string, version int) (*Cache, error) {
 func (c *Cache) Dir() string { return c.dir }
 
 // Key hashes an arbitrary JSON-encodable description of a simulation
-// together with the cache schema version into a stable hex key. Go's
-// encoding/json emits struct fields in declaration order, so the same
-// inputs always produce the same bytes.
-func (c *Cache) Key(desc any) (string, error) {
+// together with the cache schema version into a stable hex key.
+func (c *Cache) Key(desc any) (string, error) { return Key(c.version, desc) }
+
+// Key hashes a JSON-encodable description of a simulation together with
+// an explicit schema version into a stable hex key. Go's encoding/json
+// emits struct fields in declaration order, so the same inputs always
+// produce the same bytes. Callers without an open cache (the daemon's
+// in-flight dedupe) use Key(SchemaVersion, desc) and get the same keys
+// the cache files entries under.
+func Key(version int, desc any) (string, error) {
 	h := sha256.New()
-	fmt.Fprintf(h, "resultcache/v%d\n", c.version)
+	fmt.Fprintf(h, "resultcache/v%d\n", version)
 	enc := json.NewEncoder(h)
 	if err := enc.Encode(desc); err != nil {
 		return "", fmt.Errorf("resultcache: encoding key: %w", err)

@@ -13,6 +13,8 @@ package schedreg
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -57,4 +59,55 @@ func New(name string) (engine.Factory, error) {
 	default:
 		return nil, fmt.Errorf("schedreg: unknown scheduler %q", name)
 	}
+}
+
+// Resolve turns a scheduler *spec* into a factory. A spec is either a
+// registered policy name ("PRO", "GTO", ...) or a parameterized
+// PRO-family form: the base name followed by "+"-separated options,
+// matching the FactoryKey strings the harnesses already use as cache
+// identities — e.g. "PRO+threshold=500" (cmd/sweep's threshold sweep)
+// or "PRO+ordertrace+threshold=default" (the Table IV trace).
+//
+// Recognized options: "threshold=<cycles|default>" sets the re-sort
+// interval; "ordertrace" records Table IV order samples on SM 0. Only
+// PRO, PRO-nobar and PRO-norm accept options.
+//
+// Resolve is what lets a job cross a process boundary: a wire job names
+// its policy by spec, the daemon resolves the spec to a factory, and
+// because the spec doubles as the FactoryKey, the daemon-side cache key
+// is byte-identical to the one a local run would compute.
+func Resolve(spec string) (engine.Factory, error) {
+	parts := strings.Split(spec, "+")
+	if len(parts) == 1 {
+		return New(spec)
+	}
+	var opts []core.Option
+	switch parts[0] {
+	case "PRO":
+	case "PRO-nobar":
+		opts = append(opts, core.WithoutBarrierHandling())
+	case "PRO-norm":
+		opts = append(opts, core.WithNormalizedProgress())
+	default:
+		return nil, fmt.Errorf("schedreg: scheduler %q does not accept %q options", parts[0], spec)
+	}
+	for _, tok := range parts[1:] {
+		switch {
+		case tok == "ordertrace":
+			opts = append(opts, core.WithOrderTrace())
+		case strings.HasPrefix(tok, "threshold="):
+			v := strings.TrimPrefix(tok, "threshold=")
+			if v == "default" {
+				continue
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("schedreg: bad threshold in spec %q", spec)
+			}
+			opts = append(opts, core.WithThreshold(n))
+		default:
+			return nil, fmt.Errorf("schedreg: unknown option %q in spec %q", tok, spec)
+		}
+	}
+	return core.New(opts...), nil
 }

@@ -62,3 +62,42 @@ func TestUnknownName(t *testing.T) {
 		t.Fatal("unknown scheduler accepted")
 	}
 }
+
+func TestResolveSpecs(t *testing.T) {
+	good := []string{
+		"PRO",
+		"GTO",
+		"PRO+threshold=500",
+		"PRO+threshold=default",
+		"PRO+ordertrace+threshold=default",
+		"PRO+ordertrace+threshold=250",
+		"PRO-nobar+threshold=1000",
+		"PRO-norm+ordertrace",
+	}
+	for _, spec := range good {
+		f, err := Resolve(spec)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spec, err)
+		}
+		sm := newSM(t, f)
+		if sm.Sched == nil {
+			t.Fatalf("Resolve(%q) produced nil scheduler", spec)
+		}
+	}
+	bad := []string{
+		"",
+		"BOGUS",
+		"BOGUS+threshold=500",
+		"GTO+threshold=500", // only the PRO family takes options
+		"PRO+threshold=0",   // threshold must be positive
+		"PRO+threshold=-5",
+		"PRO+threshold=abc",
+		"PRO+turbo",               // unknown option
+		"PRO-adaptive+ordertrace", // adaptive takes no options
+	}
+	for _, spec := range bad {
+		if _, err := Resolve(spec); err == nil {
+			t.Fatalf("Resolve(%q) accepted", spec)
+		}
+	}
+}

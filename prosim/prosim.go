@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/engine"
 	"repro/internal/gpu"
 	"repro/internal/jobs"
@@ -49,6 +50,13 @@ type (
 	JobEvent = jobs.Event
 	// ResultCache memoizes simulation results on disk.
 	ResultCache = resultcache.Cache
+	// JobRunner executes job batches: a local JobEngine or a
+	// DaemonClient.
+	JobRunner = jobs.Runner
+	// DaemonClient submits batches to a running prosimd daemon.
+	DaemonClient = daemon.Client
+	// DaemonStats is the daemon's counter snapshot (GET /v1/stats).
+	DaemonStats = daemon.Stats
 )
 
 // GTX480 returns the paper's Table I configuration.
@@ -170,6 +178,27 @@ func RunJobs(ctx context.Context, e *JobEngine, js []Job) ([]*Result, error) {
 		e = &JobEngine{}
 	}
 	return e.Run(ctx, js)
+}
+
+// ---- Simulation daemon ----
+
+// DialDaemon connects to a prosimd daemon at addr — "host:port" for TCP
+// or "unix:/path/to.sock" for a unix socket — verifying it responds
+// before returning. The client implements JobRunner, so it drops into
+// every API that takes one. Jobs submitted through it execute on the
+// daemon (sharing its warm result cache, deduped against identical
+// in-flight work from other clients); jobs with an anonymous Factory and
+// no resolvable FactoryKey cannot cross the wire and fail per batch.
+func DialDaemon(addr string) (*DaemonClient, error) { return daemon.Dial(addr) }
+
+// SubmitBatch executes a batch of simulation jobs through any runner —
+// a local JobEngine or a DaemonClient (nil means a default local
+// engine) — returning one result per job in job order.
+func SubmitBatch(ctx context.Context, r JobRunner, js []Job) ([]*Result, error) {
+	if r == nil {
+		r = &JobEngine{}
+	}
+	return r.Run(ctx, js)
 }
 
 // WorkloadJobs builds the standard evaluation batch — every workload
