@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath benchbuild daemontest check bench benchquick report papercheck
+.PHONY: build test vet race fastpath fastforwardtest benchbuild daemontest benchdiff benchdiff-write check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ race:
 fastpath:
 	$(GO) test -run TestFastPathEquivalence -count=1 ./prosim
 
+# The global fast-forward gate: the event-horizon jump must be invisible
+# for every registered scheduler, checked under the race detector with
+# the fast-forward both on and off (the differential runs both sides).
+fastforwardtest:
+	$(GO) test -race -run 'TestFastForwardDifferential|TestFastPathEquivalence' -count=1 ./prosim
+
 # The bench harness must always compile (it is easy to break silently,
 # since plain `go test ./...` runs it but a refactor of the experiment
 # API can leave stale benchmarks behind on partial builds).
@@ -38,7 +44,18 @@ benchbuild:
 daemontest:
 	$(GO) test -race -count=1 ./internal/daemon ./cmd/prosimd
 
-check: vet race fastpath daemontest benchbuild
+# Diff the latest bench run against the newest recorded snapshot in
+# results/ (bench-<git-sha>.json). Non-blocking in check: a missing or
+# stale bench.txt should not fail unrelated changes; run `make bench`
+# then `make benchdiff-write` to record a new baseline.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -in results/bench.txt
+
+benchdiff-write:
+	$(GO) run ./cmd/benchdiff -in results/bench.txt -write
+
+check: vet race fastpath fastforwardtest daemontest benchbuild
+	-$(MAKE) benchdiff
 
 # Statistically meaningful bench run for before/after comparisons:
 # 5 repetitions with allocation counts, archived under results/.

@@ -1,0 +1,222 @@
+// Command benchdiff turns `go test -bench` output into a persisted,
+// diffable snapshot and gates on performance regressions.
+//
+// It parses a bench run (default results/bench.txt, as written by
+// `make bench`), aggregates repetitions, attaches the result-cache job
+// key to every golden cycle-count benchmark, and compares against the
+// most recent snapshot recorded for a different commit:
+//
+//   - throughput metrics (any "/s" unit) may not drop more than
+//     -max-tput-drop (default 25%);
+//   - allocs/op may not rise more than -max-alloc-rise (default 10%);
+//   - golden cycle counts must match exactly while their job key —
+//     config + kernel + scheduler + cache schema — is unchanged; a
+//     changed key skips the comparison instead of failing, so
+//     deliberate workload changes do not trip the gate.
+//
+// With -write the run is persisted as results/bench-<git-sha>.json and
+// becomes the next baseline.
+//
+// Usage:
+//
+//	benchdiff [-in results/bench.txt] [-dir results] [-write]
+//	          [-max-tput-drop 0.25] [-max-alloc-rise 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/benchparse"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/workloads"
+)
+
+// benchTBs mirrors the per-grid cap bench_test.go uses; the golden job
+// table below must describe the exact launches the benchmarks run.
+const benchTBs = 42
+
+// goldenJob maps one cycle-reporting benchmark to the simulation job
+// whose result-cache key identifies it.
+type goldenJob struct {
+	bench     string
+	kernel    string
+	scheduler string // registered name, or "" when factory is set
+	threshold int64  // PRO threshold override when > 0
+}
+
+var goldenJobs = []goldenJob{
+	{bench: "AblationThreshold/threshold250", kernel: "aesEncrypt128", threshold: 250},
+	{bench: "AblationThreshold/threshold1000", kernel: "aesEncrypt128", threshold: 1000},
+	{bench: "AblationThreshold/threshold4000", kernel: "aesEncrypt128", threshold: 4000},
+	{bench: "FutureWorkVariants/PRO", kernel: "scalarProdGPU", scheduler: "PRO"},
+	{bench: "FutureWorkVariants/PRO-adaptive", kernel: "scalarProdGPU", scheduler: "PRO-adaptive"},
+	{bench: "FutureWorkVariants/PRO-norm", kernel: "scalarProdGPU", scheduler: "PRO-norm"},
+}
+
+func main() {
+	in := flag.String("in", filepath.Join("results", "bench.txt"), "bench output to read")
+	dir := flag.String("dir", "results", "snapshot directory")
+	write := flag.Bool("write", false, "persist this run as bench-<git-sha>.json")
+	tputDrop := flag.Float64("max-tput-drop", 0.25, "max tolerated fractional throughput drop")
+	allocRise := flag.Float64("max-alloc-rise", 0.10, "max tolerated fractional allocs/op rise")
+	flag.Parse()
+
+	if err := run(*in, *dir, *write, benchparse.Thresholds{
+		MaxThroughputDrop: *tputDrop,
+		MaxAllocRise:      *allocRise,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, dir string, write bool, th benchparse.Thresholds) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	results, err := benchparse.Parse(f)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("%s contains no benchmark lines", in)
+	}
+
+	sha := gitSHA()
+	cur := &benchparse.Snapshot{
+		Schema:     benchparse.SnapshotSchema,
+		GitSHA:     sha,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: make(map[string]*benchparse.Result, len(results)),
+		Golden:     make(map[string]benchparse.GoldenEntry),
+	}
+	for _, r := range results {
+		cur.Benchmarks[r.Name] = r
+	}
+	if err := attachGolden(cur); err != nil {
+		return err
+	}
+
+	base, basePath, err := latestSnapshot(dir, sha)
+	if err != nil {
+		return err
+	}
+	failed := false
+	if base == nil {
+		fmt.Println("benchdiff: no prior snapshot to diff against")
+	} else {
+		fmt.Printf("benchdiff: comparing against %s (%s, %s)\n", basePath, base.GitSHA, base.Date)
+		findings := benchparse.Diff(base, cur, th)
+		for _, fd := range findings {
+			tag := "note"
+			if fd.Fail {
+				tag = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %s  %-40s %s\n", tag, fd.Bench, fd.Msg)
+		}
+		if len(findings) == 0 {
+			fmt.Println("  ok: no regressions, no notes")
+		}
+	}
+
+	if write {
+		out := filepath.Join(dir, "bench-"+sha+".json")
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("benchdiff: recorded", out)
+	}
+	if failed {
+		return fmt.Errorf("performance regressions above threshold")
+	}
+	return nil
+}
+
+// attachGolden pins each cycle-reporting benchmark in the snapshot to
+// its job's result-cache key. Benchmarks absent from the run (e.g. a
+// -bench filter) are skipped.
+func attachGolden(s *benchparse.Snapshot) error {
+	eng := &jobs.Engine{}
+	for _, g := range goldenJobs {
+		r, ok := s.Benchmarks[g.bench]
+		if !ok {
+			continue
+		}
+		cycles, ok := r.Metrics["cycles"]
+		if !ok {
+			continue
+		}
+		w, err := workloads.ByKernel(g.kernel)
+		if err != nil {
+			return fmt.Errorf("golden job %s: %w", g.bench, err)
+		}
+		w = w.Shrunk(benchTBs)
+		job := &jobs.Job{Launch: w.Launch, Scheduler: g.scheduler}
+		if g.threshold > 0 {
+			job.Factory = core.New(core.WithThreshold(g.threshold))
+			job.FactoryKey = fmt.Sprintf("PRO+threshold=%d", g.threshold)
+		}
+		key, ok, err := eng.Key(job)
+		if err != nil || !ok {
+			return fmt.Errorf("golden job %s: no cache key (%v)", g.bench, err)
+		}
+		s.Golden[g.bench] = benchparse.GoldenEntry{JobKey: key, Cycles: int64(cycles)}
+	}
+	return nil
+}
+
+// latestSnapshot loads the newest bench-*.json in dir recorded for a
+// commit other than sha (re-running at the same commit should diff
+// against the previous commit's baseline, not itself). Snapshots with
+// an unknown schema are ignored.
+func latestSnapshot(dir, sha string) (*benchparse.Snapshot, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "bench-*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(paths)
+	var best *benchparse.Snapshot
+	var bestPath string
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return nil, "", err
+		}
+		var s benchparse.Snapshot
+		if err := json.Unmarshal(buf, &s); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping unreadable %s: %v\n", p, err)
+			continue
+		}
+		if s.Schema != benchparse.SnapshotSchema || s.GitSHA == sha {
+			continue
+		}
+		if best == nil || s.Date > best.Date {
+			best, bestPath = &s, p
+		}
+	}
+	return best, bestPath, nil
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

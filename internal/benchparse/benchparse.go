@@ -1,0 +1,154 @@
+// Package benchparse parses `go test -bench` text output and diffs two
+// recorded runs — the machinery behind cmd/benchdiff's regression gate.
+//
+// The parser understands the standard benchmark line shape
+//
+//	BenchmarkName/sub-8   5   123 ns/op   7.9 some_metric   64 B/op   2 allocs/op
+//
+// including repeated lines from -count=N runs, which are aggregated per
+// benchmark (minimum for time and allocations — the least-noise
+// estimator on a shared machine — and maximum for throughput-style
+// metrics).
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregate over all its -count repetitions.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Runs is how many repetitions were aggregated.
+	Runs int `json:"runs"`
+	// NsOp is the minimum ns/op across repetitions.
+	NsOp float64 `json:"ns_op"`
+	// AllocsOp is the minimum allocs/op across repetitions (-1 when the
+	// run lacked -benchmem).
+	AllocsOp float64 `json:"allocs_op"`
+	// BytesOp is the minimum B/op across repetitions (-1 without
+	// -benchmem).
+	BytesOp float64 `json:"bytes_op"`
+	// Metrics holds custom b.ReportMetric values. Rate-style metrics
+	// (unit containing "/s") keep their maximum across repetitions;
+	// everything else keeps the last value (custom metrics like cycle
+	// counts are identical across repetitions of a deterministic
+	// simulator).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads go test -bench output and returns one aggregated Result
+// per benchmark, in first-appearance order. Non-benchmark lines (goos,
+// PASS, timing) are ignored.
+func Parse(r io.Reader) ([]*Result, error) {
+	byName := make(map[string]*Result)
+	var order []*Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("benchparse: line %d: %w", lineNo, err)
+		}
+		if res == nil {
+			continue
+		}
+		if prev, ok := byName[res.Name]; ok {
+			merge(prev, res)
+		} else {
+			byName[res.Name] = res
+			order = append(order, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchparse: %w", err)
+	}
+	return order, nil
+}
+
+// parseLine parses one Benchmark line; it returns (nil, nil) for lines
+// that start with "Benchmark" but are not result lines (e.g. a bare
+// name printed when a benchmark fails before reporting).
+func parseLine(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return nil, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix (absent under GOMAXPROCS=1).
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return nil, nil
+	}
+	res := &Result{Name: name, Runs: 1, AllocsOp: -1, BytesOp: -1}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsOp = v
+		case "B/op":
+			res.BytesOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, nil
+}
+
+// merge folds a repetition into the aggregate.
+func merge(dst, rep *Result) {
+	dst.Runs += rep.Runs
+	if rep.NsOp > 0 && (dst.NsOp == 0 || rep.NsOp < dst.NsOp) {
+		dst.NsOp = rep.NsOp
+	}
+	dst.AllocsOp = mergeMin(dst.AllocsOp, rep.AllocsOp)
+	dst.BytesOp = mergeMin(dst.BytesOp, rep.BytesOp)
+	for unit, v := range rep.Metrics {
+		if dst.Metrics == nil {
+			dst.Metrics = make(map[string]float64)
+		}
+		if strings.Contains(unit, "/s") {
+			if v > dst.Metrics[unit] {
+				dst.Metrics[unit] = v
+			}
+		} else {
+			dst.Metrics[unit] = v
+		}
+	}
+}
+
+func mergeMin(a, b float64) float64 {
+	switch {
+	case b < 0:
+		return a
+	case a < 0 || b < a:
+		return b
+	default:
+		return a
+	}
+}

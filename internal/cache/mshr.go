@@ -9,6 +9,10 @@ type MSHR struct {
 	capacity  int
 	maxMerges int
 	entries   map[uint64]*mshrEntry
+	// free recycles filled entries (and their waiter slices): an MSHR
+	// allocates and fills entries at memory-traffic rate, so without
+	// reuse the entry table dominates the simulator's allocation count.
+	free []*mshrEntry
 
 	// Merged counts requests absorbed into existing entries.
 	Merged int64
@@ -72,7 +76,16 @@ func (m *MSHR) Add(line uint64, waiter func(cycle int64)) Outcome {
 	if len(m.entries) >= m.capacity {
 		return Refused
 	}
-	m.entries[line] = &mshrEntry{waiters: []func(int64){waiter}}
+	var e *mshrEntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		e = &mshrEntry{}
+	}
+	e.waiters = append(e.waiters[:0], waiter)
+	m.entries[line] = e
 	m.Allocated++
 	return Allocated
 }
@@ -89,6 +102,14 @@ func (m *MSHR) Fill(line uint64, cycle int64) {
 	for _, w := range e.waiters {
 		w(cycle)
 	}
+	// Recycle only after every waiter has run: a waiter may re-enter Add,
+	// and the entry must not be on the freelist while its slice is still
+	// being iterated.
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	m.free = append(m.free, e)
 }
 
 // InFlight returns the number of live entries.

@@ -96,6 +96,11 @@ type Policy struct {
 	barrier []*tbEntry // barrierWait / barrierWait1 TBs, priority order
 	rem     []*tbEntry // noWait (fast) or finishNoWait (slow), priority order
 
+	// entryFree recycles retired tbEntries (and their warps slices) so
+	// TB churn does not allocate in steady state. A retired entry is out
+	// of every group list and the entries map before it is pooled.
+	entryFree []*tbEntry
+
 	samples []stats.OrderSample
 }
 
@@ -403,7 +408,17 @@ func remove(list []*tbEntry, e *tbEntry) []*tbEntry {
 // zero progress it belongs at the bottom of the fast-phase order anyway —
 // and the next threshold sort places it exactly.
 func (p *Policy) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
-	e := &tbEntry{tb: tb, warps: append([]*engine.Warp(nil), tb.Warps...)}
+	var e *tbEntry
+	if n := len(p.entryFree); n > 0 {
+		e = p.entryFree[n-1]
+		p.entryFree[n-1] = nil
+		p.entryFree = p.entryFree[:n-1]
+		e.tb = tb
+		e.state = stNoWait
+		e.warps = append(e.warps[:0], tb.Warps...)
+	} else {
+		e = &tbEntry{tb: tb, warps: append([]*engine.Warp(nil), tb.Warps...)}
+	}
 	if p.slowPhase {
 		e.state = stFinishNoWait
 	}
@@ -430,6 +445,8 @@ func (p *Policy) OnTBRetire(tb *engine.ThreadBlock, _ int64) {
 	default:
 		p.rem = remove(p.rem, e)
 	}
+	e.tb = nil
+	p.entryFree = append(p.entryFree, e)
 }
 
 // OnWarpFinish implements Algorithm 1's insertFinishWarp: on the first

@@ -37,6 +37,11 @@ type Channel struct {
 	bankBusy   []int64 // cycle at which the bank becomes free
 	queue      []*Request
 	arrivalSeq int64
+	// nextReady caches the earliest cycle at which a scan could grant,
+	// set when a scan comes up empty (every queued request's bank busy);
+	// Tick skips the queue walk until then. Enqueue resets it: a new
+	// request may target a free bank.
+	nextReady int64
 	// Reqs counts accepted requests; RowHits counts row-buffer hits.
 	Reqs    int64
 	RowHits int64
@@ -78,6 +83,7 @@ func (c *Channel) Enqueue(r *Request) bool {
 	r.bank, r.row = c.locate(r.Line)
 	c.queue = append(c.queue, r)
 	c.Reqs++
+	c.nextReady = 0
 	return true
 }
 
@@ -97,12 +103,33 @@ func (c *Channel) Busy(cycle int64) bool {
 	return false
 }
 
+// NextEvent returns the earliest cycle strictly after now at which Tick
+// could grant a request, or ok=false when the queue is empty. A queued
+// request is grantable once its bank frees up, so the channel's horizon is
+// the minimum over the queue of max(now+1, bankBusy[bank]); skipping Tick
+// for every cycle before that horizon cannot change arbitration.
+func (c *Channel) NextEvent(now int64) (cycle int64, ok bool) {
+	if len(c.queue) == 0 {
+		return 0, false
+	}
+	for _, r := range c.queue {
+		at := c.bankBusy[r.bank]
+		if at <= now+1 {
+			return now + 1, true
+		}
+		if !ok || at < cycle {
+			cycle, ok = at, true
+		}
+	}
+	return cycle, ok
+}
+
 // Tick performs one arbitration step at cycle: grants at most one request
 // per call (the command/data bus serializes grants). Completion callbacks
 // are scheduled by the caller via the returned (req, doneAt) pair;
 // a nil request means nothing was granted.
 func (c *Channel) Tick(cycle int64) (granted *Request, doneAt int64) {
-	if len(c.queue) == 0 {
+	if len(c.queue) == 0 || cycle < c.nextReady {
 		return nil, 0
 	}
 	best := -1
@@ -123,6 +150,15 @@ func (c *Channel) Tick(cycle int64) (granted *Request, doneAt int64) {
 		}
 	}
 	if best == -1 {
+		// Every queued request's bank is busy; nothing can be granted
+		// before the earliest of those banks frees.
+		next := int64(1<<63 - 1)
+		for _, r := range c.queue {
+			if b := c.bankBusy[r.bank]; b < next {
+				next = b
+			}
+		}
+		c.nextReady = next
 		return nil, 0
 	}
 	r := c.queue[best]

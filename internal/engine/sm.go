@@ -104,6 +104,13 @@ type SM struct {
 	memOpFree *memOp
 	sfuDone   func(int64)
 
+	// tbFree pools retired thread blocks (with their warps) for reuse by
+	// AssignTB, so TB-churn-heavy workloads allocate nothing in steady
+	// state. Only TBs with no in-flight callbacks are pooled — see
+	// poolable. poolOn folds in the Config switch.
+	tbFree []*ThreadBlock
+	poolOn bool
+
 	// slotGates short-circuit individual scheduler slots (cycle
 	// skipping at slot granularity: one slot can be fast-forwarded
 	// while its sibling still issues); gateEpoch invalidates them — it
@@ -168,6 +175,7 @@ func NewSM(id int, cfg *config.Config, wheel *timing.Wheel, mem *memsys.System, 
 	sm.slotClass = make([]slotOutcome, cfg.SchedulersPerSM)
 	sm.slotGates = make([]slotGate, cfg.SchedulersPerSM)
 	sm.sfuDone = func(int64) { sm.sfuInflight-- }
+	sm.poolOn = !cfg.DisableWarpPooling
 	sm.Sched = factory(sm)
 	if oc, ok := sm.Sched.(OrderCacher); ok {
 		sm.cacher = oc
@@ -199,23 +207,45 @@ func (sm *SM) AssignTB(global int, cycle int64) *ThreadBlock {
 	if slot < 0 {
 		panic("engine: AssignTB on a full SM")
 	}
-	tb := &ThreadBlock{
-		Global:     global,
-		SMID:       sm.ID,
-		Slot:       slot,
-		Launch:     sm.Launch,
-		StartCycle: cycle,
-		LaunchSeq:  sm.launchSeq,
+	wpt := sm.Launch.WarpsPerTB()
+	var tb *ThreadBlock
+	for i, cand := range sm.tbFree {
+		// Oldest-first: the longer a TB has been retired, the likelier
+		// its warps' trailing callbacks (exit-time loads, last refill)
+		// have drained.
+		if sm.poolable(cand) {
+			tb = cand
+			copy(sm.tbFree[i:], sm.tbFree[i+1:])
+			sm.tbFree[len(sm.tbFree)-1] = nil
+			sm.tbFree = sm.tbFree[:len(sm.tbFree)-1]
+			break
+		}
+	}
+	if tb != nil {
+		tb.reset(global, slot, cycle, sm.launchSeq)
+		for i, w := range tb.Warps {
+			w.reset(tb, i, slot*wpt+i, cycle)
+			sm.WarpSlots[w.Slot] = w
+			sm.scheduleFetch(w)
+		}
+	} else {
+		tb = &ThreadBlock{
+			Global:     global,
+			SMID:       sm.ID,
+			Slot:       slot,
+			Launch:     sm.Launch,
+			StartCycle: cycle,
+			LaunchSeq:  sm.launchSeq,
+		}
+		tb.Warps = make([]*Warp, wpt)
+		for i := 0; i < wpt; i++ {
+			w := newWarp(sm, tb, i, slot*wpt+i, cycle)
+			tb.Warps[i] = w
+			sm.WarpSlots[w.Slot] = w
+			sm.scheduleFetch(w)
+		}
 	}
 	sm.launchSeq++
-	wpt := sm.Launch.WarpsPerTB()
-	tb.Warps = make([]*Warp, wpt)
-	for i := 0; i < wpt; i++ {
-		w := newWarp(sm, tb, i, slot*wpt+i, cycle)
-		tb.Warps[i] = w
-		sm.WarpSlots[w.Slot] = w
-		sm.scheduleFetch(w)
-	}
 	sm.TBSlots[slot] = tb
 	sm.residentTBs++
 	sm.Sched.OnTBAssign(tb, cycle)
@@ -406,6 +436,35 @@ func (sm *SM) wakeEvent() {
 	}
 }
 
+// NextEvent reports the SM's contribution to the GPU-wide fast-forward
+// horizon, queried after the SM has been ticked at now: the earliest
+// future cycle at which the SM could change state on its own clock.
+//
+//   - Asleep: wakeAt, computed by trySleep from the warps' readyAt and
+//     the policy's NextTimedEvent. neverWake means only an explicit
+//     event (a wheel callback or an assignment) can wake it — both are
+//     covered by the other components' horizons — and the skipped
+//     cycles' stall accounting is flushed lazily by StallTotal. This
+//     includes drained SMs (no resident TBs), which sleep at neverWake
+//     after their first empty Tick.
+//   - Awake: the SM ticks — and accounts a stall class — on the very
+//     next cycle, so nothing may be skipped. This also covers a
+//     just-drained SM that has not had its first empty Tick yet: that
+//     Tick must still run to classify the slots Idle and start the
+//     sleep, or the stall-accounting invariant would lose cycles.
+func (sm *SM) NextEvent(now int64) (cycle int64, ok bool) {
+	if sm.asleep {
+		if sm.wakeAt <= now+1 {
+			return now + 1, true
+		}
+		if sm.wakeAt == neverWake {
+			return 0, false
+		}
+		return sm.wakeAt, true
+	}
+	return now + 1, true
+}
+
 // drainMemOp issues at most one transaction of the in-flight memory
 // instruction. The unit frees as soon as all transactions are issued; the
 // data return path is tracked by callbacks.
@@ -502,13 +561,13 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 		if sm.orderCacheOn && oc.valid && oc.gen == gen {
 			order = oc.order
 		} else {
-			oc.order = sm.Sched.Order(slot, oc.order[:0], cycle)
+			oc.order = compactOrder(sm.Sched.Order(slot, oc.order[:0], cycle), slot)
 			oc.gen = gen
 			oc.valid = true
 			order = oc.order
 		}
 	} else {
-		order = sm.Sched.Order(slot, sm.orderBuf[:0], cycle)
+		order = compactOrder(sm.Sched.Order(slot, sm.orderBuf[:0], cycle), slot)
 		sm.orderBuf = order[:0]
 	}
 
@@ -539,7 +598,9 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 	pMin := neverWake
 	for idx := startIdx; idx < len(order); idx++ {
 		w := order[idx]
-		if w == nil || w.SchedSlot != slot || w.finished {
+		if w.finished {
+			// Finished after the order was built; compactOrder drops it
+			// at the next rebuild.
 			continue
 		}
 		if skipOn && cycle < w.gate {
@@ -558,7 +619,7 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 			w.gate, w.gateInstr = neverWake, false
 			continue
 		}
-		if !w.ScoreboardReady(in, cycle) {
+		if !(skipOn && w.scoreboardOK) && !w.ScoreboardReady(in, cycle) {
 			// Blocked until the registers are ready (readyAt > cycle
 			// whenever the scoreboard blocks); a pending load gates at
 			// neverWake and its resolution zeroes the gate.
@@ -571,7 +632,10 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 		}
 		// Scoreboard-ready: the gated prefix ends here — this warp must
 		// be re-examined next cycle whether it issues or stays
-		// pipeline-blocked.
+		// pipeline-blocked. The sentinel makes that re-examination a
+		// single flag load (see Warp.scoreboardOK for why readiness is
+		// sticky until the warp issues).
+		w.scoreboardOK = true
 		if contig {
 			contig = false
 			resumeIdx, pValid, pMin = idx, anyValid, minGate
@@ -579,7 +643,13 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 		anyValid = true
 		anyReady = true
 		if sm.tryIssue(w, in, cycle) {
-			if skipOn && sm.cacher != nil {
+			// Arming is worthwhile only when there is a gated prefix to
+			// skip (resumeIdx > 0). With no prefix the record would be a
+			// no-op, and leaving the previous record in place is safe:
+			// its gen/epoch stamps are from an earlier scan, and both
+			// counters only grow, so it can only validate while the
+			// order and every recorded gate are provably unchanged.
+			if skipOn && sm.cacher != nil && resumeIdx > 0 {
 				sm.slotGates[slot] = slotGate{until: pMin, gen: gen, epoch: epochStart, resume: resumeIdx, valid: pValid, armed: true}
 			}
 			sm.Stalls[slot].Issued++
@@ -588,8 +658,15 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 	}
 	switch {
 	case anyReady:
-		if skipOn && sm.cacher != nil {
-			sm.slotGates[slot] = slotGate{until: pMin, gen: gen, epoch: epochStart, resume: resumeIdx, valid: pValid, armed: true}
+		if skipOn && sm.cacher != nil && resumeIdx > 0 {
+			// A pipeline-blocked slot re-arms the same record every
+			// cycle (no issue, so gen, gates and the prefix are all
+			// unchanged); comparing first keeps the cache line clean on
+			// those long runs instead of rewriting it.
+			sg := &sm.slotGates[slot]
+			if !(sg.armed && sg.gen == gen && sg.epoch == epochStart && sg.resume == resumeIdx && sg.until == pMin && sg.valid == pValid) {
+				*sg = slotGate{until: pMin, gen: gen, epoch: epochStart, resume: resumeIdx, valid: pValid, armed: true}
+			}
 		}
 		sm.Stalls[slot].Pipeline++
 		return outPipeline
@@ -610,6 +687,26 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 	}
 }
 
+// compactOrder drops, in place, the entries slot's issue scan would skip
+// unconditionally — nil slots, the other scheduler's warps, finished
+// warps. Policies return SM-wide orders, so without this every per-cycle
+// walk re-skips half the entries. Dropping at rebuild time is safe
+// because none of the three conditions can reverse for a warp object
+// while a cached order lives: slots never un-nil, SchedSlot is fixed at
+// assignment, and a finished warp only comes back through AssignTB's
+// pool reuse, which invalidates every cached order via the policy's
+// generation bump.
+func compactOrder(order []*Warp, slot int) []*Warp {
+	out := order[:0]
+	for _, w := range order {
+		if w == nil || w.SchedSlot != slot || w.finished {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
 // tryIssue attempts to issue in from w at cycle; it returns false — with
 // no state changed — when the required pipeline cannot accept the
 // instruction (unit token taken, queue full, MSHR/store-buffer refusal).
@@ -625,9 +722,11 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 		}
 	}
 
-	pc := w.PC()
-	iter := int64(w.visits[pc])
-	mask := w.ActiveMask()
+	// The snapshot fields are coherent with in (== w.nextIn): see
+	// Warp.nextPC.
+	pc := int(w.nextPC)
+	iter := int64(w.nextIter)
+	mask := w.nextMask
 	tb := w.TB
 
 	// Global-memory instructions occupy the LD/ST unit's single mem-op
@@ -753,6 +852,27 @@ func (sm *SM) retireTB(tb *ThreadBlock, cycle int64) {
 	if sm.OnTBRetireFn != nil {
 		sm.OnTBRetireFn(tb, cycle)
 	}
+	if sm.poolOn {
+		sm.tbFree = append(sm.tbFree, tb)
+	}
+}
+
+// poolable reports whether tb's warps can be recycled right now. A warp
+// can exit with a load or atomic still in flight (Exit does not read the
+// load's destination register), or with a final useless i-buffer refill
+// pending (scheduled in the same issue that set finished); both
+// callbacks still reference the warp and would corrupt a reused one, so
+// such TBs stay in the pool until the callbacks drain — AssignTB
+// re-checks at reuse time. The callbacks themselves are harmless against
+// a pool-resident warp (they fired against retired warps before pooling
+// existed, too).
+func (sm *SM) poolable(tb *ThreadBlock) bool {
+	for _, w := range tb.Warps {
+		if w.outstandingLoads != 0 || w.fetchBusy {
+			return false
+		}
+	}
+	return true
 }
 
 // StallTotal sums the per-slot breakdowns, first accounting any cycles

@@ -33,6 +33,21 @@ type ThreadBlock struct {
 	LaunchSeq int
 }
 
+// reset reinitializes a pooled thread block for a new grid position,
+// keeping its Warps slice (the warps themselves are reset by the SM) and
+// its SM binding (pools are per-SM, so SMID and Launch are unchanged).
+func (tb *ThreadBlock) reset(global, slot int, cycle int64, launchSeq int) {
+	tb.Global = global
+	tb.Slot = slot
+	tb.Progress = 0
+	tb.WarpsAtBarrier = 0
+	tb.WarpsFinished = 0
+	tb.StartCycle = cycle
+	tb.EndCycle = 0
+	tb.barrierStart = 0
+	tb.LaunchSeq = launchSeq
+}
+
 // Done reports whether every warp has finished.
 func (tb *ThreadBlock) Done() bool { return tb.WarpsFinished == len(tb.Warps) }
 

@@ -22,17 +22,77 @@ type simtEntry struct {
 
 // Warp is one warp's execution state. All mutation happens through the
 // owning SM's issue path.
+//
+// Field order is deliberate: the leading group holds everything the
+// per-cycle issue scan reads, so classifying a blocked warp touches one
+// cache line; the SIMT stack, scoreboard and visit counters that only
+// matter when the warp progresses come after.
 type Warp struct {
-	// SM is the owning core; TB the owning thread block.
-	SM *SM
+	// gate caches the earliest cycle at which the warp could next pass
+	// the issue checks (decodable instruction + scoreboard clear), so
+	// the per-cycle order walk skips blocked warps with one compare.
+	// Valid because a blocked warp's state only changes at a
+	// statically-known cycle (readyAt, folded into gate) or via an
+	// event that zeroes the gate (i-buffer refill, load resolution,
+	// barrier release). gateInstr preserves the warp's Idle-vs-
+	// Scoreboard contribution while skipped: whether it had a decodable
+	// instruction when the gate was set (stable until the gate clears,
+	// since a gated warp cannot issue and nothing else drains its
+	// i-buffer or moves it to a barrier).
+	gate int64
+
+	// nextIn caches NextInstr's result — the decoded instruction the warp
+	// would issue, nil when the warp is not Valid. Refreshed by
+	// refreshNextInstr at every site that changes the inputs (PC moves,
+	// i-buffer drain/refill, barrier entry/release, exit), so the
+	// per-cycle issue scan reads a field instead of re-deriving it.
+	nextIn *isa.Instr
+
+	// nextPC, nextIter and nextMask snapshot the issue coordinates
+	// (program counter, dynamic visit count, active mask) coherently
+	// with nextIn. They are only meaningful while nextIn != nil, and
+	// every mutation of their sources (SIMT stack, visits) is followed
+	// by refreshNextInstr. Keeping them on the warp struct lets the
+	// issue path read three fields from an already-hot cache line
+	// instead of chasing into the stack and visits allocations on
+	// every attempt.
+	nextPC   int32
+	nextIter int32
+	nextMask uint32
+
+	// TB is the owning thread block; in the leading group because the
+	// issue path charges progress to it on every instruction.
 	TB *ThreadBlock
-	// IDInTB is the warp index within its TB; Slot is the SM warp slot;
+
+	gateInstr bool
+	finished  bool
+	atBar     bool
+
+	// scoreboardOK is the ready sentinel: once nextIn has passed the
+	// scoreboard at some cycle it stays ready at every later cycle until
+	// the warp issues, because registers only become unavailable through
+	// the warp's own issue path (setRegLatency / a pending-load mark) and
+	// that path ends in refreshNextInstr, which clears the sentinel. A
+	// pipeline-blocked warp is therefore re-checked with one flag load
+	// instead of a register walk on every scan.
+	scoreboardOK bool
+
+	fetchBusy bool
+
 	// SchedSlot is the hardware scheduler that owns this warp
 	// (Slot % SchedulersPerSM, interleaving a TB's warps across
 	// schedulers as on Fermi).
-	IDInTB    int
-	Slot      int
 	SchedSlot int
+
+	// ibuf is the number of decoded instructions available; when it
+	// drains, a refill arrives ifetchLatency cycles later.
+	ibuf int
+
+	// SM is the owning core.
+	SM *SM
+	// IDInTB is the warp index within its TB; Slot is the SM warp slot.
+	IDInTB int
+	Slot   int
 
 	// Progress is the paper's WarpProgress: thread-instructions executed
 	// (issues weighted by active lanes). Maintained by the SM on every
@@ -47,9 +107,7 @@ type Warp struct {
 	// divergence".
 	FinishCycle int64
 
-	stack    []simtEntry
-	atBar    bool
-	finished bool
+	stack []simtEntry
 
 	// regReady[r] is the first cycle register r can be read/overwritten.
 	regReady [int(isa.MaxReg) + 1]int64
@@ -63,32 +121,6 @@ type Warp struct {
 	// lane; re-armed on loop exit so nested re-entry works.
 	loopRem []int32
 
-	// ibuf is the number of decoded instructions available; when it
-	// drains, a refill arrives ifetchLatency cycles later.
-	ibuf      int
-	fetchBusy bool
-
-	// gate caches the earliest cycle at which the warp could next pass
-	// the issue checks (decodable instruction + scoreboard clear), so
-	// the per-cycle order walk skips blocked warps with one compare.
-	// Valid because a blocked warp's state only changes at a
-	// statically-known cycle (readyAt, folded into gate) or via an
-	// event that zeroes the gate (i-buffer refill, load resolution,
-	// barrier release). gateInstr preserves the warp's Idle-vs-
-	// Scoreboard contribution while skipped: whether it had a decodable
-	// instruction when the gate was set (stable until the gate clears,
-	// since a gated warp cannot issue and nothing else drains its
-	// i-buffer or moves it to a barrier).
-	gate      int64
-	gateInstr bool
-
-	// nextIn caches NextInstr's result — the decoded instruction the warp
-	// would issue, nil when the warp is not Valid. Refreshed by
-	// refreshNextInstr at every site that changes the inputs (PC moves,
-	// i-buffer drain/refill, barrier entry/release, exit), so the
-	// per-cycle issue scan reads a field instead of re-deriving it.
-	nextIn *isa.Instr
-
 	// fetchDone is the i-buffer refill callback, bound once at warp
 	// creation so fetches do not allocate a closure per refill.
 	fetchDone func(int64)
@@ -99,6 +131,41 @@ type Warp struct {
 // is scheduled by the SM).
 func newWarp(sm *SM, tb *ThreadBlock, idInTB, slot int, cycle int64) *Warp {
 	l := tb.Launch
+	w := &Warp{
+		SM:      sm,
+		visits:  make([]int32, l.Program.Len()),
+		loopRem: make([]int32, len(l.Program.Loops)*config.WarpSize),
+	}
+	w.fetchDone = func(int64) {
+		if w.finished {
+			// A warp that issues Exit just as its i-buffer drains has one
+			// last (useless) refill in flight. Clearing fetchBusy is
+			// invisible to the model — nothing reads it for a finished
+			// warp — but it marks the warp free of pending callbacks, so
+			// its thread block becomes recyclable.
+			w.fetchBusy = false
+			return
+		}
+		w.ibuf = sm.Cfg.IBufferEntries
+		w.fetchBusy = false
+		w.gate = 0
+		w.refreshNextInstr()
+		sm.gateEpoch++
+		sm.wakeEvent()
+	}
+	w.reset(tb, idInTB, slot, cycle)
+	return w
+}
+
+// reset (re)initializes the warp for a thread block, reusing its
+// allocated stack/visits/loopRem backing and its bound fetchDone closure
+// (both close over the warp and SM only, which never change across pool
+// cycles). The result is indistinguishable from a newWarp-built warp:
+// converged at PC 0, registers clear, loop counters armed, i-buffer
+// empty. Callers guarantee no stale callbacks (fetch, load completion)
+// still reference the warp.
+func (w *Warp) reset(tb *ThreadBlock, idInTB, slot int, cycle int64) {
+	l := tb.Launch
 	threads := l.BlockThreads - idInTB*config.WarpSize
 	if threads > config.WarpSize {
 		threads = config.WarpSize
@@ -107,31 +174,26 @@ func newWarp(sm *SM, tb *ThreadBlock, idInTB, slot int, cycle int64) *Warp {
 	if threads < config.WarpSize {
 		mask = uint32(1)<<uint(threads) - 1
 	}
-	w := &Warp{
-		SM:         sm,
-		TB:         tb,
-		IDInTB:     idInTB,
-		Slot:       slot,
-		SchedSlot:  slot % sm.Cfg.SchedulersPerSM,
-		SpawnCycle: cycle,
-		stack:      []simtEntry{{PC: 0, Reconv: -1, Mask: mask}},
-		visits:     make([]int32, l.Program.Len()),
-		loopRem:    make([]int32, len(l.Program.Loops)*config.WarpSize),
+	w.TB = tb
+	w.IDInTB = idInTB
+	w.Slot = slot
+	w.SchedSlot = slot % w.SM.Cfg.SchedulersPerSM
+	w.Progress, w.Issued = 0, 0
+	w.SpawnCycle, w.FinishCycle = cycle, 0
+	w.stack = append(w.stack[:0], simtEntry{PC: 0, Reconv: -1, Mask: mask})
+	w.atBar, w.finished = false, false
+	w.regReady = [int(isa.MaxReg) + 1]int64{}
+	w.outstandingLoads = 0
+	for i := range w.visits {
+		w.visits[i] = 0
 	}
 	for loopID := range l.Program.Loops {
 		w.armLoop(loopID)
 	}
-	w.fetchDone = func(int64) {
-		if !w.finished {
-			w.ibuf = sm.Cfg.IBufferEntries
-			w.fetchBusy = false
-			w.gate = 0
-			w.refreshNextInstr()
-			sm.gateEpoch++
-			sm.wakeEvent()
-		}
-	}
-	return w
+	w.ibuf, w.fetchBusy = 0, false
+	w.gate, w.gateInstr = 0, false
+	w.nextIn = nil
+	w.scoreboardOK = false
 }
 
 // armLoop initializes the remaining-take counters of loopID for every
@@ -186,11 +248,16 @@ func (w *Warp) NextInstr() *isa.Instr { return w.nextIn }
 // after any change to the warp's finished/barrier/i-buffer state or its
 // program counter.
 func (w *Warp) refreshNextInstr() {
+	w.scoreboardOK = false
 	if w.finished || w.atBar || w.ibuf == 0 {
 		w.nextIn = nil
 		return
 	}
-	w.nextIn = w.TB.Launch.Program.At(int(w.stack[len(w.stack)-1].PC))
+	top := &w.stack[len(w.stack)-1]
+	w.nextIn = w.TB.Launch.Program.At(int(top.PC))
+	w.nextPC = top.PC
+	w.nextMask = top.Mask
+	w.nextIter = w.visits[top.PC]
 }
 
 // ScoreboardReady reports whether in's source and destination registers

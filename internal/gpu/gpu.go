@@ -39,11 +39,13 @@ type OrderTracer interface {
 	OrderSamples() []stats.OrderSample
 }
 
-// ctxCheckInterval is how many cycles pass between context checks in
-// RunContext's cycle loop. A non-blocking poll every 4096 cycles is
-// invisible in profiles (the loop body simulates 14 SMs plus the memory
-// system per iteration) yet bounds the abort delay to well under a
-// millisecond of wall time.
+// ctxCheckInterval is how many loop iterations pass between context
+// checks in RunContext's cycle loop. The interval counts iterations, not
+// cycles: with fast-forwarding a single iteration can cover far more
+// than 4096 cycles, so a cycle-count poll would not bound cancellation
+// latency. A non-blocking poll every 4096 iterations is invisible in
+// profiles (each iteration simulates 14 SMs plus the memory system) yet
+// bounds the abort delay to well under a millisecond of wall time.
 const ctxCheckInterval = 4096
 
 // Run simulates launch on a GPU described by cfg under the scheduling
@@ -86,12 +88,18 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		TBCount: launch.GridTBs,
 	}
 
+	// assignDirty tracks whether a TB placement could possibly succeed:
+	// residency only frees on TB retirement, so after a probe that finds
+	// every SM full, the per-cycle assignment step is skipped until the
+	// next retire instead of re-probing all SMs each cycle.
+	assignDirty := true
 	sms := make([]*engine.SM, cfg.NumSMs)
 	for i := range sms {
 		sm := engine.NewSM(i, cfg, wheel, mem, launch, factory)
 		sm.PendingTBsFn = func() int { return pending }
-		if opts.Timeline {
-			sm.OnTBRetireFn = func(tb *engine.ThreadBlock, cycle int64) {
+		sm.OnTBRetireFn = func(tb *engine.ThreadBlock, cycle int64) {
+			assignDirty = true
+			if opts.Timeline {
 				res.Timeline = append(res.Timeline, stats.TBSpan{
 					TB: tb.Global, SM: tb.SMID, Slot: tb.LaunchSeq,
 					Start: tb.StartCycle, End: tb.EndCycle,
@@ -108,6 +116,9 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 	// get the next TB in grid order.
 	rr := 0
 	assign := func(cycle int64) {
+		if !assignDirty {
+			return
+		}
 		for pending > 0 {
 			placed := false
 			for probe := 0; probe < len(sms); probe++ {
@@ -122,6 +133,7 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 				}
 			}
 			if !placed {
+				assignDirty = false
 				return
 			}
 		}
@@ -158,12 +170,81 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		lastSample.stalls = cur
 	}
 
+	// nextCycle computes where the clock goes after an iteration at now —
+	// the global fast-forward. Every cycle in (now, target) is provably a
+	// no-op: each component reports the earliest future cycle at which it
+	// could do anything (ok=false meaning "only another component's event
+	// can activate me"), and the clock jumps to the minimum. Skipped
+	// cycles would have run an empty loop body — no wheel events fire, no
+	// DRAM arbitration can grant, every SM stays asleep, and assignment is
+	// inert (it already drained at now, and residency only changes on an
+	// SM's own issue path, impossible while asleep) — so results are
+	// bit-identical to single-stepping. The jump is clamped to every
+	// cycle the loop itself observes: the next sampling boundary (so the
+	// sample fires on its exact cycle with stalls flushed identically),
+	// the runaway limit, and the deadlock-watchdog deadline (so both
+	// errors report the same cycle they would under single-stepping).
+	ffOn := !cfg.DisableFastForward
+	nextCycle := func(now, lastIssuedCycle int64) int64 {
+		if !ffOn {
+			return now + 1
+		}
+		target := int64(1<<63 - 1)
+		for _, sm := range sms {
+			at, ok := sm.NextEvent(now)
+			if !ok {
+				continue
+			}
+			if at <= now+1 {
+				return now + 1
+			}
+			if at < target {
+				target = at
+			}
+		}
+		if at, ok := mem.NextEvent(now); ok {
+			if at <= now+1 {
+				return now + 1
+			}
+			if at < target {
+				target = at
+			}
+		}
+		if at, ok := wheel.NextEvent(); ok {
+			if at <= now+1 {
+				return now + 1
+			}
+			if at < target {
+				target = at
+			}
+		}
+		if target == 1<<63-1 {
+			// Fully quiescent yet not done: a genuine wedge. Single-step
+			// so the deadlock watchdog sees the identical cycle sequence.
+			return now + 1
+		}
+		if opts.SampleEvery > 0 {
+			if b := now - now%opts.SampleEvery + opts.SampleEvery; b < target {
+				target = b
+			}
+		}
+		if maxCycles < target {
+			target = maxCycles
+		}
+		if d := lastIssuedCycle + stallWindow + 1; d < target {
+			target = d
+		}
+		return target
+	}
+
 	lastIssued := int64(-1)
 	lastIssuedCycle := int64(0)
 	checkCtx := ctx.Done() != nil
+	var iters int64
 	var cycle int64
-	for cycle = 1; ; cycle++ {
-		if checkCtx && cycle%ctxCheckInterval == 0 {
+	for cycle = 1; ; cycle = nextCycle(cycle, lastIssuedCycle) {
+		iters++
+		if checkCtx && iters%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("gpu: %s/%s aborted at cycle %d: %w",
 					launch.Program.Name, res.Scheduler, cycle, err)
@@ -173,11 +254,17 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		mem.Tick(cycle)
 		assign(cycle)
 		done := true
+		// The watchdog's issued sum is fused into the tick loop: an SM's
+		// WarpInstrs is final for this cycle once its own Tick returns
+		// (no cross-SM path mutates it), so the fused sum equals the
+		// post-loop sum the naive loop computed.
+		var issued int64
 		for _, sm := range sms {
 			sm.Tick(cycle)
 			if !sm.Done() {
 				done = false
 			}
+			issued += sm.WarpInstrs
 		}
 		if opts.SampleEvery > 0 && cycle%opts.SampleEvery == 0 {
 			sample(cycle)
@@ -190,10 +277,6 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 				launch.Program.Name, res.Scheduler, maxCycles)
 		}
 		// Deadlock watchdog: total issued instructions must keep moving.
-		var issued int64
-		for _, sm := range sms {
-			issued += sm.WarpInstrs
-		}
 		if issued != lastIssued {
 			lastIssued = issued
 			lastIssuedCycle = cycle

@@ -42,6 +42,16 @@ type System struct {
 
 	storesOut []int // per-SM outstanding global stores
 
+	// dramQueued counts requests sitting in channel queues (enqueued but
+	// not yet granted). Everything else in the hierarchy is event-driven
+	// on the wheel; the DRAM queues are the only state that needs a
+	// per-cycle Tick, so when this is zero Tick has nothing to do and the
+	// clock loop may skip it entirely.
+	dramQueued int
+	// TickScans counts Tick calls that actually scanned the channels
+	// (i.e. were not skipped as idle) — observable for tests.
+	TickScans int64
+
 	// Free lists of pooled request carriers. Each carrier binds its event
 	// callbacks once at first allocation, so the steady-state memory path
 	// schedules wheel/network events without allocating closures. The
@@ -191,13 +201,44 @@ func (s *System) partition(line uint64) int {
 }
 
 // Tick performs one DRAM arbitration step per channel. Call once per core
-// cycle after the timing wheel has advanced to that cycle.
+// cycle after the timing wheel has advanced to that cycle. With no
+// requests queued at any channel it returns immediately without touching
+// the channels.
 func (s *System) Tick(cycle int64) {
+	if s.dramQueued == 0 {
+		return
+	}
+	s.TickScans++
 	for _, ch := range s.chans {
-		if r, doneAt := ch.Tick(cycle); r != nil && r.Done != nil {
-			s.wheel.Schedule(doneAt, r.Done)
+		if r, doneAt := ch.Tick(cycle); r != nil {
+			s.dramQueued--
+			if r.Done != nil {
+				s.wheel.Schedule(doneAt, r.Done)
+			}
 		}
 	}
+}
+
+// NextEvent returns the earliest cycle strictly after now at which Tick
+// could grant a DRAM request, or ok=false when no channel has queued
+// work. All other memory-system activity (cache fills, interconnect
+// traversal, MSHR responses, retries) is scheduled on the timing wheel
+// and is therefore covered by the wheel's own NextEvent.
+func (s *System) NextEvent(now int64) (cycle int64, ok bool) {
+	if s.dramQueued == 0 {
+		return 0, false
+	}
+	for _, ch := range s.chans {
+		if at, chOK := ch.NextEvent(now); chOK {
+			if at == now+1 {
+				return at, true
+			}
+			if !ok || at < cycle {
+				cycle, ok = at, true
+			}
+		}
+	}
+	return cycle, ok
 }
 
 // LoadLine issues one load transaction from SM sm for the line-aligned
@@ -296,7 +337,9 @@ func (s *System) l2Write(r *writeReq) {
 func (s *System) enqueueDRAM(p int, r *dram.Request, retry timing.Event) {
 	if !s.chans[p].Enqueue(r) {
 		s.wheel.ScheduleAfter(retryDelay, retry)
+		return
 	}
+	s.dramQueued++
 }
 
 // OutstandingStores returns SM sm's store-buffer occupancy (for tests).

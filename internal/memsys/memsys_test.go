@@ -246,3 +246,50 @@ func TestRowLocalityImprovesDRAM(t *testing.T) {
 		t.Fatalf("sequential row hits %d not above scattered %d", mA.DRAMRowHits, mB.DRAMRowHits)
 	}
 }
+
+// TestIdleSystemDoesNoTickWork checks the fast-forward bookkeeping that
+// makes skipping idle memory cycles free: Tick is a no-op (no channel
+// scan) unless DRAM work is queued, and NextEvent reports no horizon at
+// all while the system is idle.
+func TestIdleSystemDoesNoTickWork(t *testing.T) {
+	s, w, _ := testSystem()
+	// tickFor advances exactly n cycles regardless of activity (runUntil
+	// requires its condition to eventually hold).
+	tickFor := func(n int64) {
+		end := w.Now() + n
+		for c := w.Now() + 1; c <= end; c++ {
+			w.Advance(c)
+			s.Tick(c)
+		}
+	}
+	if _, ok := s.NextEvent(w.Now()); ok {
+		t.Fatal("idle system reported a DRAM horizon")
+	}
+	tickFor(1000)
+	if s.TickScans != 0 {
+		t.Fatalf("idle system scanned channels %d times, want 0", s.TickScans)
+	}
+
+	// A missing line must reach DRAM and make the scans start.
+	var done bool
+	if !s.LoadLine(0, 0x9000<<7, func(int64) { done = true }) {
+		t.Fatal("LoadLine refused on idle system")
+	}
+	runUntil(s, w, 100000, func() bool { return done })
+	if !done {
+		t.Fatal("load never completed")
+	}
+	busy := s.TickScans
+	if busy == 0 {
+		t.Fatal("in-flight DRAM request caused no channel scans")
+	}
+
+	// Drained again: scans stop and the horizon disappears.
+	tickFor(1000)
+	if s.TickScans != busy {
+		t.Fatalf("drained system kept scanning: %d -> %d", busy, s.TickScans)
+	}
+	if _, ok := s.NextEvent(w.Now()); ok {
+		t.Fatal("drained system reported a DRAM horizon")
+	}
+}

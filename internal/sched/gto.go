@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"repro/internal/engine"
 	"repro/internal/isa"
 )
@@ -83,12 +81,25 @@ func (s *GTO) OnTBAssign(tb *engine.ThreadBlock, _ int64) {
 	}
 	for slot := range s.aged {
 		list := s.aged[slot]
-		sort.SliceStable(list, func(i, j int) bool {
-			if list[i].SpawnCycle != list[j].SpawnCycle {
-				return list[i].SpawnCycle < list[j].SpawnCycle
+		// Insertion sort by (SpawnCycle, Slot). The list is already
+		// sorted except for the warps just appended, and unlike
+		// sort.SliceStable this allocates nothing — OnTBAssign is on the
+		// TB launch path, which must stay allocation-free under TB churn.
+		// (Slot is unique within a list, so the key is a total order and
+		// the result matches the stable sort it replaces.)
+		for i := 1; i < len(list); i++ {
+			w := list[i]
+			j := i - 1
+			for ; j >= 0; j-- {
+				p := list[j]
+				if p.SpawnCycle < w.SpawnCycle ||
+					(p.SpawnCycle == w.SpawnCycle && p.Slot < w.Slot) {
+					break
+				}
+				list[j+1] = p
 			}
-			return list[i].Slot < list[j].Slot
-		})
+			list[j+1] = w
+		}
 	}
 }
 

@@ -34,8 +34,11 @@ type Wheel struct {
 // bucketSeed is the initial per-bucket capacity. Buckets are carved out
 // of one shared slab so a fresh wheel costs two allocations instead of a
 // growth chain per bucket; the few buckets that outgrow the seed
-// reallocate individually.
-const bucketSeed = 4
+// reallocate individually. Eight fits the largest routine event batch —
+// a thread-block launch schedules one i-buffer refill per warp (8 on the
+// GTX480 geometry) into a single bucket — so steady-state TB churn does
+// not regrow buckets as it walks the ring.
+const bucketSeed = 8
 
 // NewWheel returns a wheel positioned at cycle 0.
 func NewWheel() *Wheel {
@@ -76,11 +79,40 @@ func (w *Wheel) ScheduleAfter(delay int64, fn Event) {
 	w.Schedule(w.now+delay, fn)
 }
 
+// NextEvent returns the cycle of the earliest pending event, or ok=false
+// when nothing is scheduled. The ring is walked outward from Now, so the
+// scan cost is proportional to the distance to the next event, and the
+// bucket index uniquely determines the event's cycle (events beyond the
+// horizon live in the overflow slice, checked separately).
+func (w *Wheel) NextEvent() (cycle int64, ok bool) {
+	if w.pending == 0 {
+		return 0, false
+	}
+	for d := int64(1); d < Horizon; d++ {
+		if len(w.buckets[(w.now+d)%Horizon]) > 0 {
+			return w.now + d, true
+		}
+	}
+	for _, o := range w.overflow {
+		if !ok || o.at < cycle {
+			cycle, ok = o.at, true
+		}
+	}
+	return cycle, ok
+}
+
 // Advance moves the wheel to cycle c, firing every event scheduled in
 // (Now, c] in cycle order. Callbacks may schedule further events, including
 // events within the same cycle range still being advanced.
 func (w *Wheel) Advance(c int64) {
 	for w.now < c {
+		if w.pending == 0 {
+			// Nothing can fire in the remaining range (same-cycle
+			// scheduling is forbidden), so the wheel teleports: every
+			// bucket is empty and the overflow list is empty too.
+			w.now = c
+			return
+		}
 		w.now++
 		w.refillFromOverflow()
 		idx := w.now % Horizon

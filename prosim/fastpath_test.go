@@ -1,13 +1,13 @@
 package prosim_test
 
-// Differential tests for the simulation fast paths. The order cache and
-// stall-aware cycle skipping exist purely to make single simulations
-// faster; by design they must be invisible in every observable output —
-// cycles, stall breakdowns, memory counters, timelines and samples.
-// These tests run a workload × scheduler grid with each fast path
-// toggled off via the Config switches and require byte-identical
-// results against the naive reference. `make check` runs this test by
-// name; it is the gate for any change to the cycle engine.
+// Differential tests for the simulation fast paths. The order cache,
+// stall-aware cycle skipping, global fast-forward and warp pooling exist
+// purely to make simulations faster; by design they must be invisible in
+// every observable output — cycles, stall breakdowns, memory counters,
+// timelines and samples. These tests run a workload × scheduler grid
+// with each fast path toggled off via the Config switches and require
+// byte-identical results against the naive reference. `make check` runs
+// this test by name; it is the gate for any change to the cycle engine.
 
 import (
 	"encoding/json"
@@ -16,9 +16,26 @@ import (
 	"repro/prosim"
 )
 
+// fastPaths names the simulation-speed switches under differential test.
+// The zero value is the production configuration (everything on).
+type fastPaths struct {
+	disableOrderCache  bool
+	disableCycleSkip   bool
+	disableFastForward bool
+	disableWarpPooling bool
+}
+
+// naivePaths disables every fast path — the reference implementation.
+var naivePaths = fastPaths{
+	disableOrderCache:  true,
+	disableCycleSkip:   true,
+	disableFastForward: true,
+	disableWarpPooling: true,
+}
+
 // fastPathGrid simulates the differential grid with the given fast-path
 // switches and returns one canonical JSON encoding per run.
-func fastPathGrid(t *testing.T, disableOrderCache, disableCycleSkip bool) []string {
+func fastPathGrid(t *testing.T, fp fastPaths) []string {
 	t.Helper()
 	kernels := []string{"aesEncrypt128", "scalarProdGPU", "calculate_temp"}
 	// PRO-adaptive exercises the timed-refresh path (the adaptive
@@ -38,8 +55,10 @@ func fastPathGrid(t *testing.T, disableOrderCache, disableCycleSkip bool) []stri
 		for _, s := range scheds {
 			for _, o := range opts {
 				cfg := prosim.GTX480()
-				cfg.DisableOrderCache = disableOrderCache
-				cfg.DisableCycleSkip = disableCycleSkip
+				cfg.DisableOrderCache = fp.disableOrderCache
+				cfg.DisableCycleSkip = fp.disableCycleSkip
+				cfg.DisableFastForward = fp.disableFastForward
+				cfg.DisableWarpPooling = fp.disableWarpPooling
 				r, err := prosim.Run(cfg, w.Launch, s, o)
 				if err != nil {
 					t.Fatalf("%s/%s: %v", k, s, err)
@@ -56,17 +75,24 @@ func fastPathGrid(t *testing.T, disableOrderCache, disableCycleSkip bool) []stri
 }
 
 func TestFastPathEquivalence(t *testing.T) {
-	naive := fastPathGrid(t, true, true)
+	naive := fastPathGrid(t, naivePaths)
+	each := func(mod func(*fastPaths)) fastPaths {
+		fp := naivePaths
+		mod(&fp)
+		return fp
+	}
 	for _, tc := range []struct {
-		name                      string
-		disableCache, disableSkip bool
+		name string
+		fp   fastPaths
 	}{
-		{"order-cache-only", false, true},
-		{"cycle-skip-only", true, false},
-		{"default-both-on", false, false},
+		{"order-cache-only", each(func(fp *fastPaths) { fp.disableOrderCache = false })},
+		{"cycle-skip-only", each(func(fp *fastPaths) { fp.disableCycleSkip = false })},
+		{"fast-forward-only", each(func(fp *fastPaths) { fp.disableFastForward = false })},
+		{"warp-pooling-only", each(func(fp *fastPaths) { fp.disableWarpPooling = false })},
+		{"default-all-on", fastPaths{}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			got := fastPathGrid(t, tc.disableCache, tc.disableSkip)
+			got := fastPathGrid(t, tc.fp)
 			for i := range naive {
 				if got[i] != naive[i] {
 					t.Errorf("run %d: result differs from the naive path", i)
