@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath fastforwardtest benchbuild daemontest benchdiff benchdiff-write check bench benchquick report papercheck
+.PHONY: build test vet race fastpath fastforwardtest benchbuild daemontest obstest benchdiff benchdiff-write baseline check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -44,17 +44,27 @@ benchbuild:
 daemontest:
 	$(GO) test -race -count=1 ./internal/daemon ./cmd/prosimd
 
+# Telemetry smoke under the race detector: the /metrics acceptance test
+# (valid Prometheus exposition after real work), the pprof/expvar debug
+# mux, the heartbeat bit-identity gate and the tracer's line atomicity.
+obstest:
+	$(GO) test -race -count=1 -run 'TestMetricsEndpointServesPrometheus|TestTraceSpansCoverBatchLifecycle|TestDebugHandlerServesMetricsVarsAndPprof|TestHeartbeat' ./internal/daemon ./internal/obs ./internal/gpu
+
 # Diff the latest bench run against the newest recorded snapshot in
 # results/ (bench-<git-sha>.json). Non-blocking in check: a missing or
-# stale bench.txt should not fail unrelated changes; run `make bench`
-# then `make benchdiff-write` to record a new baseline.
+# stale bench.txt should not fail unrelated changes. To advance the
+# baseline after landing a change on main, run `make baseline` — a
+# fresh 5-rep bench run persisted as results/bench-<git-sha>.json,
+# which later `make benchdiff` runs compare against.
 benchdiff:
 	$(GO) run ./cmd/benchdiff -in results/bench.txt
 
 benchdiff-write:
 	$(GO) run ./cmd/benchdiff -in results/bench.txt -write
 
-check: vet race fastpath fastforwardtest daemontest benchbuild
+baseline: bench benchdiff-write
+
+check: vet race fastpath fastforwardtest daemontest obstest benchbuild
 	-$(MAKE) benchdiff
 
 # Statistically meaningful bench run for before/after comparisons:

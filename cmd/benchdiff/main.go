@@ -37,6 +37,7 @@ import (
 	"repro/internal/benchparse"
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -68,7 +69,13 @@ func main() {
 	write := flag.Bool("write", false, "persist this run as bench-<git-sha>.json")
 	tputDrop := flag.Float64("max-tput-drop", 0.25, "max tolerated fractional throughput drop")
 	allocRise := flag.Float64("max-alloc-rise", 0.10, "max tolerated fractional allocs/op rise")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
 
 	if err := run(*in, *dir, *write, benchparse.Thresholds{
 		MaxThroughputDrop: *tputDrop,

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -62,7 +63,13 @@ func main() {
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "papercheck:", err)
+		os.Exit(1)
+	}
 
 	if *maxTBs > 0 {
 		fmt.Printf("note: grids shrunk to %d TBs — the SM-residency claims (C2, C6, C8)\n", *maxTBs)

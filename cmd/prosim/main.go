@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/prosim"
 )
 
@@ -44,7 +45,13 @@ func main() {
 	regs := flag.Int("regs", 16, "registers per thread for -program")
 	smem := flag.Int("smem", 0, "shared memory per TB in bytes for -program")
 	seed := flag.Uint64("seed", 1, "kernel seed for -program")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "prosim:", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -6,13 +6,17 @@
 // re-simulating.
 //
 // Endpoints: POST /v1/batch (NDJSON progress stream + results),
-// GET /v1/stats, POST /v1/gc. See DESIGN.md §9 for the protocol.
+// GET /v1/stats, POST /v1/gc, GET /metrics (Prometheus text format).
+// See DESIGN.md §9 for the protocol and §10 for the telemetry.
 //
 // Usage:
 //
 //	prosimd -cache .simcache                     # TCP on 127.0.0.1:9753
 //	prosimd -listen unix:/tmp/prosimd.sock       # unix socket
 //	prosimd -job-timeout 10m -drain 1m
+//	prosimd -debug-addr 127.0.0.1:9754           # pprof + /metrics + expvar
+//	prosimd -trace-out jobs.ndjson               # job-lifecycle spans
+//	prosimd -log-level debug -log-json           # structured logs (stderr)
 //
 // Point the clients at it:
 //
@@ -27,11 +31,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,19 +48,36 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
 	drain := flag.Duration("drain", daemon.DefaultDrainTimeout,
 		"how long a SIGINT/SIGTERM shutdown waits for running jobs before aborting them")
-	quiet := flag.Bool("quiet", false, "suppress lifecycle logging")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/pprof, /metrics and /debug/vars on this extra address (keep it loopback-only)")
+	traceOut := flag.String("trace-out", "",
+		"write one NDJSON job-lifecycle span per line to this file (\"-\" = stderr)")
+	quiet := flag.Bool("quiet", false, "suppress lifecycle logging (same as -log-level error)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if *quiet && logCfg.Level == "info" {
+		logCfg.Level = "error"
+	}
+	log, err := logCfg.Setup()
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := daemon.Config{
 		Workers:      *njobs,
 		CacheDir:     *cacheDir,
 		JobTimeout:   *jobTimeout,
 		DrainTimeout: *drain,
+		Log:          log,
 	}
-	if !*quiet {
-		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+	if *traceOut != "" {
+		tr, err := obs.OpenTrace(*traceOut)
+		if err != nil {
+			fatal(err)
 		}
+		defer tr.Close()
+		cfg.Trace = tr
 	}
 	d, err := daemon.New(cfg)
 	if err != nil {
@@ -64,22 +87,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if !*quiet {
-		cache := *cacheDir
-		if cache == "" {
-			cache = "(none)"
-		}
-		fmt.Fprintf(os.Stderr, "prosimd: listening on %s (workers %d, cache %s, drain %s)\n",
-			*listen, *njobs, cache, drain.String())
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(obs.Default)}
+		go func() {
+			log.Info("debug endpoints up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Error("debug server failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
 	}
+	cache := *cacheDir
+	if cache == "" {
+		cache = "(none)"
+	}
+	log.Info("listening",
+		"addr", *listen, "workers", *njobs, "cache", cache, "drain", drain.String())
 	start := time.Now()
 	if err := d.ServeUntilSignal(l); err != nil {
 		fatal(err)
 	}
-	if !*quiet {
-		fmt.Fprintf(os.Stderr, "prosimd: clean shutdown after %.1fs (%d jobs: %d simulated, %d replayed)\n",
-			time.Since(start).Seconds(), d.Engine().Completed(), d.Engine().Simulated(), d.Engine().Replayed())
-	}
+	log.Info("clean shutdown",
+		"uptime_sec", fmt.Sprintf("%.1f", time.Since(start).Seconds()),
+		"jobs", d.Engine().Completed(),
+		"simulated", d.Engine().Simulated(),
+		"replayed", d.Engine().Replayed())
 }
 
 func fatal(err error) {

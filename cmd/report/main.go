@@ -31,6 +31,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/experiments"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/viz"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -44,7 +45,13 @@ func main() {
 	cacheDir := flag.String("cache", "", "result-cache directory (optional; makes warm re-runs instant)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
+	traceOut := flag.String("trace-out", "", "write NDJSON job-lifecycle spans to this file (\"-\" = stderr; local runs only)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fatal(err)
+	}
 
 	emit := func(name, content string) {
 		fmt.Println(content)
@@ -79,6 +86,14 @@ func main() {
 		eng, err = jobs.New(*njobs, *cacheDir, progress)
 		if err != nil {
 			fatal(err)
+		}
+		if *traceOut != "" {
+			tr, err := obs.OpenTrace(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer tr.Close()
+			eng.Trace = tr
 		}
 		run = eng
 	}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary double as the report tool: with the
+// helper env var set it runs main() on os.Args, so the stream-hygiene
+// test below can observe real process stdout/stderr separation.
+func TestMain(m *testing.M) {
+	if os.Getenv("REPORT_TEST_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// progressLine matches jobs.PrintProgress output, e.g.
+// "[    0.2s]   3/100 aesEncrypt128/PRO [cached] (eta 1.2s)".
+var progressLine = regexp.MustCompile(`^\[ *[0-9.]+s\] +[0-9]+/[0-9]+ `)
+
+// TestStdoutCarriesOnlyArtifacts pins the tool's stream contract:
+// stdout is exclusively the paper artifacts (safe to redirect into a
+// file or diff), while progress, ETA and timing lines go to stderr.
+// A regression here corrupts every scripted `report > results.txt`.
+func TestStdoutCarriesOnlyArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec integration test")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := filepath.Join(t.TempDir(), "cache")
+	cmd := exec.Command(exe, "-maxtbs", "2", "-cache", cache)
+	cmd.Env = append(os.Environ(), "REPORT_TEST_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("report failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	for i, line := range strings.Split(stdout.String(), "\n") {
+		if progressLine.MatchString(line) {
+			t.Errorf("stdout line %d is a progress line: %q", i+1, line)
+		}
+		if strings.Contains(line, "report completed in") {
+			t.Errorf("stdout line %d is a timing line: %q", i+1, line)
+		}
+	}
+	for _, artifact := range []string{
+		"Fig. 4 — Speedup of PRO over baseline schedulers",
+		"Table III — Improvement in stall cycles with PRO",
+	} {
+		if !strings.Contains(stdout.String(), artifact) {
+			t.Errorf("stdout missing artifact %q", artifact)
+		}
+	}
+
+	var sawProgress, sawTiming bool
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if progressLine.MatchString(line) {
+			sawProgress = true
+		}
+		if strings.Contains(line, "report completed in") {
+			sawTiming = true
+		}
+	}
+	if !sawProgress {
+		t.Error("no progress lines on stderr (progress reporting broke)")
+	}
+	if !sawTiming {
+		t.Error("no completion timing line on stderr")
+	}
+}

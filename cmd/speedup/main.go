@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -25,7 +26,13 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
 
 	ws := workloads.All()
 	if *app != "" {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -30,7 +31,13 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "stalls:", err)
+		os.Exit(1)
+	}
 
 	if !*fig1 && !*table3 && !*fig5 {
 		*fig1, *table3, *fig5 = true, true, true

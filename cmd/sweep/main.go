@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -60,7 +61,13 @@ func main() {
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

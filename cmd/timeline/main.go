@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -33,7 +34,13 @@ func main() {
 	quiet := flag.Bool("quiet", true, "suppress progress")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "timeline:", err)
+		os.Exit(1)
+	}
 
 	w, err := workloads.ByKernel(*kernel)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 	"repro/prosim"
 )
@@ -28,7 +29,13 @@ func main() {
 	maxTBs := flag.Int("maxtbs", 0, "shrink grid (0 = full)")
 	njobs := flag.Int("jobs", 1, "parallel simulation workers (a trace is one job)")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	if _, err := logCfg.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
 
 	w, err := workloads.ByKernel(*kernel)
 	if err != nil {

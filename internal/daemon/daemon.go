@@ -32,6 +32,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,10 +44,46 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/gpu"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/stats"
 )
+
+// Daemon telemetry (internal/obs). The HTTP request series are
+// per-endpoint; everything else is process-wide like the jobs_ and
+// resultcache_ families.
+var (
+	mBatches  = obs.NewCounter("prosimd_batches_total", "batch requests accepted")
+	mDeduped  = obs.NewCounter("prosimd_dedupe_attached_total", "submissions that attached to another client's identical in-flight run")
+	mInflight = obs.NewGauge("prosimd_jobs_inflight", "jobs executing or waiting for a worker slot")
+	mAttached = obs.NewGauge("prosimd_attached_waiting", "submissions currently waiting on a leader's run")
+	mDraining = obs.NewGauge("prosimd_draining", "1 while the daemon drains for shutdown")
+
+	// Simulation heartbeat mirror (gpu.SetHeartbeat; registered by New).
+	mSimBeats    = obs.NewCounter("sim_heartbeats_total", "simulation heartbeats observed")
+	mSimFFJumps  = obs.NewCounter("sim_fastforward_jumps_total", "event-horizon clock jumps summed over heartbeats")
+	mSimIters    = obs.NewCounter("sim_loop_iters_total", "top-level simulation loop iterations summed over heartbeats")
+	mSimCycle    = obs.NewGauge("sim_last_heartbeat_cycle", "simulated cycle of the most recent heartbeat")
+	mSimResident = obs.NewGauge("sim_resident_tbs", "resident thread blocks at the most recent heartbeat")
+)
+
+// httpMetrics wraps an endpoint handler with a request counter and a
+// latency histogram labeled by path. For /v1/batch the latency is the
+// full stream duration — submission to terminal batch line.
+func httpMetrics(path string, h http.HandlerFunc) http.Handler {
+	reqs := obs.NewCounter(
+		fmt.Sprintf("prosimd_http_requests_total{path=%q}", path), "HTTP requests by endpoint")
+	lat := obs.NewHistogram(
+		fmt.Sprintf("prosimd_http_request_seconds{path=%q}", path), "HTTP request latency by endpoint", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		start := time.Now()
+		h(w, r)
+		lat.Observe(time.Since(start).Seconds())
+	})
+}
 
 // Config tunes a daemon.
 type Config struct {
@@ -60,9 +97,12 @@ type Config struct {
 	// DrainTimeout bounds how long Shutdown waits for running batches
 	// before aborting their jobs; 0 means DefaultDrainTimeout.
 	DrainTimeout time.Duration
-	// Logf, when non-nil, receives one line per lifecycle event (batch
-	// accepted/finished, shutdown progress).
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured lifecycle events (batch
+	// accepted/finished, shutdown progress); nil logs nothing.
+	Log *slog.Logger
+	// Trace, when non-nil, receives one NDJSON span per job lifecycle
+	// step — submissions that attach to an in-flight run included.
+	Trace *obs.Tracer
 }
 
 // DefaultDrainTimeout is the Shutdown drain bound when Config leaves it
@@ -82,6 +122,7 @@ type flight struct {
 // (or ServeUntilSignal), stop with Shutdown.
 type Daemon struct {
 	cfg Config
+	log *slog.Logger
 	eng *jobs.Engine
 	sem chan struct{}
 
@@ -113,8 +154,14 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.Trace = cfg.Trace
+	log := cfg.Log
+	if log == nil {
+		log = obs.Discard()
+	}
 	d := &Daemon{
 		cfg:      cfg,
+		log:      log,
 		eng:      eng,
 		sem:      make(chan struct{}, cfg.Workers),
 		inflight: make(map[string]*flight),
@@ -122,25 +169,33 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.baseCtx, d.baseCancel = context.WithCancel(context.Background())
 	d.server = &http.Server{Handler: d.Handler()}
+	// The daemon is a long-running service, so it turns on the
+	// low-frequency simulation heartbeat: liveness of in-flight runs
+	// becomes visible on /metrics. Results are unaffected (the listener
+	// only reads; see gpu.SetHeartbeat).
+	gpu.SetHeartbeat(func(h gpu.Heartbeat) {
+		mSimBeats.Inc()
+		mSimFFJumps.Add(h.FFJumps)
+		mSimIters.Add(h.Iters)
+		mSimCycle.Set(h.Cycle)
+		mSimResident.Set(int64(h.ResidentTBs))
+	}, 0)
 	return d, nil
 }
 
 // Engine exposes the wrapped job engine (tests assert its counters).
 func (d *Daemon) Engine() *jobs.Engine { return d.eng }
 
-func (d *Daemon) logf(format string, args ...any) {
-	if d.cfg.Logf != nil {
-		d.cfg.Logf(format, args...)
-	}
-}
-
 // Handler returns the daemon's HTTP handler (useful for tests and for
-// mounting under an existing server).
+// mounting under an existing server). Every /v1 endpoint carries a
+// request counter and latency histogram; /metrics serves the process
+// registry in Prometheus text format.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/batch", d.handleBatch)
-	mux.HandleFunc("/v1/stats", d.handleStats)
-	mux.HandleFunc("/v1/gc", d.handleGC)
+	mux.Handle("/v1/batch", httpMetrics("/v1/batch", d.handleBatch))
+	mux.Handle("/v1/stats", httpMetrics("/v1/stats", d.handleStats))
+	mux.Handle("/v1/gc", httpMetrics("/v1/gc", d.handleGC))
+	mux.Handle("/metrics", obs.Default.Handler())
 	return mux
 }
 
@@ -172,6 +227,8 @@ func (d *Daemon) Serve(l net.Listener) error {
 // context cancellation and close. It returns nil when everything
 // drained cleanly and the drain error otherwise.
 func (d *Daemon) Shutdown() error {
+	mDraining.Set(1)
+	defer mDraining.Set(0)
 	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
 	defer cancel()
 	err := d.server.Shutdown(ctx)
@@ -181,7 +238,7 @@ func (d *Daemon) Shutdown() error {
 	}
 	// Drain timed out with batches still running: cancel every job and
 	// give the handlers a moment to observe it and flush their streams.
-	d.logf("daemon: drain timeout after %s, aborting in-flight jobs", d.cfg.DrainTimeout)
+	d.log.Warn("drain timeout, aborting in-flight jobs", "timeout", d.cfg.DrainTimeout)
 	d.baseCancel()
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
@@ -204,10 +261,10 @@ func (d *Daemon) ServeUntilSignal(l net.Listener) error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		d.logf("daemon: %v: draining (timeout %s)", s, d.cfg.DrainTimeout)
+		d.log.Info("signal received, draining", "signal", s.String(), "timeout", d.cfg.DrainTimeout)
 		err := d.Shutdown()
 		<-errc
-		d.logf("daemon: stopped")
+		d.log.Info("stopped")
 		return err
 	}
 }
@@ -232,9 +289,20 @@ func (d *Daemon) runJob(waitCtx context.Context, j *jobs.Job) (r *stats.KernelRe
 	if f := d.inflight[key]; f != nil {
 		d.mu.Unlock()
 		d.attached.Add(1)
-		defer d.attached.Add(-1)
+		mAttached.Add(1)
+		defer func() {
+			d.attached.Add(-1)
+			mAttached.Add(-1)
+		}()
+		start := time.Now()
 		select {
 		case <-f.done:
+			mDeduped.Inc()
+			d.cfg.Trace.Emit(obs.Span{
+				Event: "done", Key: key, Kernel: jobLabel(j), Sched: schedLabel(j),
+				Outcome: obs.OutcomeDeduped, DurationMS: obs.Millis(time.Since(start)),
+				SimCycles: simCycles(f.res),
+			})
 			return f.res, f.fromCache, true, f.err
 		case <-waitCtx.Done():
 			return nil, false, false, waitCtx.Err()
@@ -267,7 +335,11 @@ func (d *Daemon) execute(waitCtx context.Context, j *jobs.Job) (*stats.KernelRes
 	defer func() { <-d.sem }()
 
 	d.running.Add(1)
-	defer d.running.Add(-1)
+	mInflight.Add(1)
+	defer func() {
+		d.running.Add(-1)
+		mInflight.Add(-1)
+	}()
 
 	ctx := d.baseCtx
 	if d.cfg.JobTimeout > 0 {
@@ -302,7 +374,8 @@ func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 		js[i] = j
 	}
 	d.batches.Add(1)
-	d.logf("daemon: batch of %d job(s) from %s", len(js), r.RemoteAddr)
+	mBatches.Inc()
+	d.log.Info("batch accepted", "jobs", len(js), "remote", r.RemoteAddr)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -381,8 +454,17 @@ func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
-	d.logf("daemon: batch done in %.1fs (%d job(s), %d cached)",
-		time.Since(start).Seconds(), len(js), hits)
+	d.log.Info("batch done",
+		"jobs", len(js), "cached", hits,
+		"elapsed_sec", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
+}
+
+// simCycles extracts a result's cycle count nil-safely for trace spans.
+func simCycles(r *stats.KernelResult) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Cycles
 }
 
 func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +483,11 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.CacheHits = c.Hits()
 		st.CacheMisses = c.Misses()
 		st.CacheWrites = c.Writes()
+		st.CacheBytesRead = c.BytesRead()
+		st.CacheBytesWritten = c.BytesWritten()
+		st.CacheGCRuns = c.GCRuns()
+		st.CacheGCEvicted = c.GCEvicted()
+		st.CacheGCFreedBytes = c.GCFreed()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
@@ -430,8 +517,9 @@ func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	d.logf("daemon: gc to %s: evicted %d of %d entries, freed %d bytes (%d stale tmp)",
-		req.Size, st.Evicted, st.Entries, st.Freed, st.TmpFiles)
+	d.log.Info("cache gc",
+		"budget", req.Size, "evicted", st.Evicted, "entries", st.Entries,
+		"freed_bytes", st.Freed, "stale_tmp", st.TmpFiles)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }

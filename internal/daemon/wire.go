@@ -154,6 +154,15 @@ type Stats struct {
 	CacheHits   int64  `json:"cacheHits"`
 	CacheMisses int64  `json:"cacheMisses"`
 	CacheWrites int64  `json:"cacheWrites"`
+	// Extended cache telemetry (additive; older clients ignore them):
+	// byte traffic and cumulative GC activity since the daemon opened
+	// its cache. Sourced from the same counters the obs registry
+	// exposes at /metrics.
+	CacheBytesRead    int64 `json:"cacheBytesRead"`
+	CacheBytesWritten int64 `json:"cacheBytesWritten"`
+	CacheGCRuns       int64 `json:"cacheGCRuns"`
+	CacheGCEvicted    int64 `json:"cacheGCEvicted"`
+	CacheGCFreedBytes int64 `json:"cacheGCFreedBytes"`
 	// InFlight counts jobs currently executing or queued for a worker
 	// slot; Attached counts submissions currently waiting on another
 	// client's identical in-flight run.

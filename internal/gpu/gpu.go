@@ -237,6 +237,30 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		return target
 	}
 
+	// Telemetry heartbeat (internal/obs consumers): loaded once per run,
+	// so registration mid-run is not observed. With no listener the loop
+	// below pays a single always-false branch per iteration; the
+	// listener itself only reads, so results are bit-identical either
+	// way (asserted by TestHeartbeatDoesNotAlterResults).
+	hb := hbState.Load()
+	hbOn := hb != nil
+	var hbPrevCycle, hbIters, hbJumps, hbNext int64
+	if hbOn {
+		hbNext = hb.every
+	}
+	emitHeartbeat := func(cycle int64, final bool) {
+		resident := 0
+		for _, sm := range sms {
+			resident += sm.ResidentTBCount()
+		}
+		hb.fn(Heartbeat{
+			Kernel: launch.Program.Name, Scheduler: res.Scheduler,
+			Cycle: cycle, ResidentTBs: resident, PendingTBs: pending,
+			Iters: hbIters, FFJumps: hbJumps, Final: final,
+		})
+		hbIters, hbJumps = 0, 0
+	}
+
 	lastIssued := int64(-1)
 	lastIssuedCycle := int64(0)
 	checkCtx := ctx.Done() != nil
@@ -269,6 +293,17 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		if opts.SampleEvery > 0 && cycle%opts.SampleEvery == 0 {
 			sample(cycle)
 		}
+		if hbOn {
+			hbIters++
+			if cycle > hbPrevCycle+1 {
+				hbJumps++
+			}
+			hbPrevCycle = cycle
+			if cycle >= hbNext {
+				emitHeartbeat(cycle, false)
+				hbNext = cycle - cycle%hb.every + hb.every
+			}
+		}
 		if done && pending == 0 {
 			break
 		}
@@ -287,6 +322,9 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 	}
 
 	res.Cycles = cycle
+	if hbOn {
+		emitHeartbeat(cycle, true)
+	}
 	for _, sm := range sms {
 		res.Stalls.Add(sm.StallTotal())
 		res.WarpInstrs += sm.WarpInstrs

@@ -28,10 +28,28 @@ import (
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/schedreg"
 	"repro/internal/stats"
 	"repro/internal/workloads"
+)
+
+// Process-wide job telemetry (internal/obs). Counters aggregate over
+// every engine in the process; the gauges describe the instantaneous
+// state of whatever batches are running. All updates are O(1) atomics
+// at job granularity — the simulation cycle loop itself is never
+// touched.
+var (
+	mCompleted = obs.NewCounter("jobs_completed_total", "jobs finished (including failures)")
+	mSimulated = obs.NewCounter("jobs_simulated_total", "jobs that ran the simulator")
+	mReplayed  = obs.NewCounter("jobs_replayed_total", "jobs served from the result cache")
+	mFailed    = obs.NewCounter("jobs_failed_total", "jobs that returned an error (panics included)")
+	mQueued    = obs.NewGauge("jobs_queue_depth", "batch jobs accepted but not yet picked up by a worker")
+	mBusy      = obs.NewGauge("jobs_workers_busy", "workers currently executing a job")
+	mSimCycles = obs.NewCounter("jobs_sim_cycles_total", "simulated GPU cycles summed over simulated jobs")
+	mSimTime   = obs.NewHistogram("jobs_sim_duration_seconds", "wall time of simulated (non-cached) jobs", nil)
+	mCycleRate = obs.NewGauge("jobs_sim_cycles_per_sec", "simulated cycles per wall second of the most recently finished simulated job")
 )
 
 // Job describes one simulation. Scheduler names a registered policy
@@ -125,6 +143,10 @@ type Engine struct {
 	// OnProgress, when non-nil, is called after every job completion.
 	// Calls are serialized; keep the callback fast.
 	OnProgress func(Event)
+	// Trace, when non-nil, receives one NDJSON span per lifecycle step
+	// of every job this engine processes (submit, then done with the
+	// outcome). A nil tracer costs one pointer check per job.
+	Trace *obs.Tracer
 
 	// Engine-lifetime counters, summed over every batch this engine ran
 	// (a harness typically runs several: the main suite, timelines,
@@ -230,11 +252,13 @@ func (e *Engine) Run(ctx context.Context, js []Job) ([]*stats.KernelResult, erro
 		mu.Unlock()
 	}
 
+	mQueued.Add(int64(len(js)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				mQueued.Add(-1)
 				if ctx.Err() != nil {
 					return
 				}
@@ -261,16 +285,21 @@ func (e *Engine) Run(ctx context.Context, js []Job) ([]*stats.KernelResult, erro
 		return js[order[a]].Cost > js[order[b]].Cost
 	})
 
+	sent := 0
 feed:
 	for _, i := range order {
 		select {
 		case idx <- i:
+			sent++
 		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
+	// Jobs never handed to a worker (cancelled batch) leave the queue
+	// here; dispatched ones were decremented at their pickup.
+	mQueued.Add(int64(sent - len(js)))
 
 	mu.Lock()
 	err := firstErr
@@ -343,12 +372,17 @@ func (e *Engine) Key(j *Job) (key string, ok bool, err error) {
 
 // runOne resolves, memoizes and executes a single job, converting any
 // panic into an error. ctx aborts an in-flight simulation within a
-// bounded delay (see gpu.RunContext).
+// bounded delay (see gpu.RunContext). Every call feeds the process
+// metrics and, when the engine has a tracer, emits a submit/done span
+// pair.
 func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fromCache bool, err error) {
+	start := time.Now()
+	var key string
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
 		}
+		e.observeDone(j, key, r, fromCache, time.Since(start), err)
 	}()
 
 	cfg := j.Config
@@ -360,20 +394,27 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 		return nil, false, err
 	}
 
-	var key string
 	cacheable := e.Cache != nil && schedID != ""
-	if cacheable {
-		key, err = e.Cache.Key(cacheKey{
-			Config: cfg, Launch: j.Launch, Scheduler: schedID, Options: j.Options,
-		})
+	if cacheable || (e.Trace != nil && schedID != "") {
+		desc := cacheKey{Config: cfg, Launch: j.Launch, Scheduler: schedID, Options: j.Options}
+		if e.Cache != nil {
+			key, err = e.Cache.Key(desc)
+		} else {
+			key, err = resultcache.Key(resultcache.SchemaVersion, desc)
+		}
 		if err != nil {
 			return nil, false, err
 		}
+	}
+	e.Trace.Emit(obs.Span{Event: "submit", Key: key, Kernel: j.label(), Sched: j.schedLabel()})
+	if cacheable {
 		if cached, ok := e.Cache.Get(key); ok {
 			return cached, true, nil
 		}
 	}
 
+	mBusy.Add(1)
+	defer mBusy.Add(-1)
 	r, err = gpu.RunContext(ctx, cfg, j.Launch, factory, j.Options)
 	if err != nil {
 		return nil, false, err
@@ -384,6 +425,42 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 		}
 	}
 	return r, false, nil
+}
+
+// observeDone records one finished runOne in the process metrics and
+// the engine's tracer. err covers failures and captured panics.
+func (e *Engine) observeDone(j *Job, key string, r *stats.KernelResult, fromCache bool, dur time.Duration, err error) {
+	mCompleted.Inc()
+	outcome := obs.OutcomeSimulated
+	switch {
+	case err != nil:
+		outcome = obs.OutcomeError
+		mFailed.Inc()
+	case fromCache:
+		outcome = obs.OutcomeCacheHit
+		mReplayed.Inc()
+	default:
+		mSimulated.Inc()
+		mSimCycles.Add(r.Cycles)
+		mSimTime.Observe(dur.Seconds())
+		if s := dur.Seconds(); s > 0 {
+			mCycleRate.Set(int64(float64(r.Cycles) / s))
+		}
+	}
+	if e.Trace == nil {
+		return
+	}
+	span := obs.Span{
+		Event: "done", Key: key, Kernel: j.label(), Sched: j.schedLabel(),
+		Outcome: outcome, DurationMS: obs.Millis(dur),
+	}
+	if r != nil {
+		span.SimCycles = r.Cycles
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	e.Trace.Emit(span)
 }
 
 // RunJob executes one job synchronously on the caller's goroutine,

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugHandlerServesMetricsVarsAndPprof is the pprof/expvar smoke
+// test behind `make obstest`: the debug mux must answer all three
+// endpoint groups.
+func TestDebugHandlerServesMetricsVarsAndPprof(t *testing.T) {
+	Default.Counter("debug_smoke_total", "smoke").Inc()
+	srv := httptest.NewServer(DebugHandler(Default))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "debug_smoke_total") {
+		t.Fatalf("/metrics: code %d, body %q", code, body)
+	}
+	code, body := get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars struct {
+		Prosim map[string]float64 `json:"prosim"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Prosim["debug_smoke_total"] < 1 {
+		t.Fatalf("expvar view missing registry counter: %v", vars.Prosim)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: code %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ index: code %d", code)
+	}
+}

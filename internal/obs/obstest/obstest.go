@@ -1,0 +1,65 @@
+// Package obstest holds test helpers for asserting on telemetry
+// output. It lives outside package obs so that any package's tests can
+// validate a /metrics response (obs's own, the daemon's acceptance
+// test) without duplicating the format rules.
+package obstest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one sample line of the text exposition format:
+// metric name, optional label body, a float value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+// ValidatePrometheus fails t on any line that is neither a well-formed
+// comment nor a well-formed sample, and checks every sample's family
+// has a preceding # TYPE.
+func ValidatePrometheus(t testing.TB, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
+				continue
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: unknown TYPE %q", i+1, f[3])
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unknown comment %q", i+1, line)
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d: malformed sample %q", i+1, line)
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f := strings.TrimSuffix(name, suf); f != name && typed[f] {
+				family = f
+				break
+			}
+		}
+		if !typed[family] {
+			t.Errorf("line %d: sample %q has no # TYPE", i+1, name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Job-lifecycle tracing: NDJSON spans from submission through
+// execution. A span line is self-contained JSON, so a trace file can
+// be tailed, grepped, or loaded into any log pipeline:
+//
+//	{"ts":"2026-08-06T10:11:12.131Z","event":"done","key":"2fa0…",
+//	 "kernel":"aesEncrypt128","sched":"PRO","outcome":"simulated",
+//	 "duration_ms":1412,"sim_cycles":271660}
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Span outcomes. A job resolves exactly one way: replayed from the
+// result cache, attached to another submission's identical in-flight
+// run, simulated, or failed.
+const (
+	OutcomeCacheHit  = "cache-hit"
+	OutcomeDeduped   = "dedup"
+	OutcomeSimulated = "simulated"
+	OutcomeError     = "error"
+)
+
+// Span is one NDJSON trace line.
+type Span struct {
+	// TS is the emission time (RFC3339, millisecond precision); the
+	// tracer stamps it.
+	TS string `json:"ts"`
+	// Event is the lifecycle step: "submit" or "done".
+	Event string `json:"event"`
+	// Key is the job's result-cache key ("" for uncacheable jobs).
+	Key string `json:"key,omitempty"`
+	// Kernel and Sched identify the job.
+	Kernel string `json:"kernel,omitempty"`
+	Sched  string `json:"sched,omitempty"`
+	// Outcome is set on "done": cache-hit, dedup, simulated or error.
+	Outcome string `json:"outcome,omitempty"`
+	// DurationMS is submit-to-done wall time, set on every "done" (a
+	// pointer so sub-millisecond durations serialize as 0 instead of
+	// vanishing under omitempty; build with Millis).
+	DurationMS *int64 `json:"duration_ms,omitempty"`
+	// SimCycles is the result's simulated cycle count, on a successful
+	// "done".
+	SimCycles int64 `json:"sim_cycles,omitempty"`
+	// Err carries the failure text when Outcome is "error".
+	Err string `json:"err,omitempty"`
+}
+
+// Millis converts an elapsed duration into a Span.DurationMS value.
+func Millis(d time.Duration) *int64 {
+	ms := d.Milliseconds()
+	return &ms
+}
+
+// Tracer serializes spans onto one writer. A nil *Tracer is a valid
+// no-op sink, so instrumented code never branches on "tracing on?".
+type Tracer struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	closer io.Closer
+
+	spans Counter
+}
+
+// NewTracer wraps w in a tracer. The caller keeps ownership of w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// OpenTrace creates (truncating) the NDJSON sink at path; "-" means
+// stderr. Close flushes and releases it.
+func OpenTrace(path string) (*Tracer, error) {
+	if path == "-" {
+		return NewTracer(os.Stderr), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace sink: %w", err)
+	}
+	t := NewTracer(f)
+	t.closer = f
+	return t, nil
+}
+
+// Emit stamps and writes one span. Nil-safe; errors are dropped (a
+// full disk must never fail a simulation batch).
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	s.TS = time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	t.mu.Lock()
+	t.enc.Encode(s)
+	t.mu.Unlock()
+	t.spans.Inc()
+}
+
+// Spans returns how many spans were emitted (tests and /v1/stats).
+func (t *Tracer) Spans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spans.Value()
+}
+
+// Close releases the underlying file when the tracer owns one.
+func (t *Tracer) Close() error {
+	if t == nil || t.closer == nil {
+		return nil
+	}
+	return t.closer.Close()
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerEmitsValidNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Span{Event: "submit", Key: "abc", Kernel: "k", Sched: "PRO"})
+	tr.Emit(Span{Event: "done", Key: "abc", Kernel: "k", Sched: "PRO",
+		Outcome: OutcomeSimulated, DurationMS: Millis(42 * time.Millisecond), SimCycles: 1000})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(lines[1]), &s); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if s.Event != "done" || s.Outcome != OutcomeSimulated || s.SimCycles != 1000 {
+		t.Fatalf("round-trip mangled span: %+v", s)
+	}
+	if s.TS == "" {
+		t.Fatal("tracer did not stamp ts")
+	}
+	if tr.Spans() != 2 {
+		t.Fatalf("Spans() = %d, want 2", tr.Spans())
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Span{Event: "done"}) // must not panic
+	if tr.Spans() != 0 {
+		t.Fatal("nil tracer counted spans")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenTraceWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	tr, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(Span{Event: "submit", Kernel: "k"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Span
+	if err := json.Unmarshal(bytes.TrimSpace(data), &s); err != nil {
+		t.Fatalf("trace file not NDJSON: %v", err)
+	}
+}
+
+func TestTracerConcurrentEmitsStayLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit(Span{Event: "done", Outcome: OutcomeCacheHit})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1600 {
+		t.Fatalf("%d lines, want 1600", len(lines))
+	}
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("line %d torn by concurrent writers: %q", i+1, l)
+		}
+	}
+}
+
+func TestLogFlagsAndSetup(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	lc := LogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	l, err := lc.SetupWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hello", "k", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("-log-json line not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != float64(7) || rec["level"] != "DEBUG" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warning": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestTextLoggingBelowLevelIsDropped(t *testing.T) {
+	var buf bytes.Buffer
+	lc := &LogConfig{Level: "warn"}
+	l, err := lc.SetupWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering broken: %q", out)
+	}
+}
+
+func TestDiscardLoggerIsSilent(t *testing.T) {
+	Discard().Error("nothing") // must not panic, must not write anywhere visible
+}

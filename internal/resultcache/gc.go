@@ -8,6 +8,17 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide GC telemetry, aggregated like the hit/miss counters in
+// resultcache.go.
+var (
+	mGCRuns    = obs.NewCounter("resultcache_gc_runs_total", "completed GC passes")
+	mGCEvicted = obs.NewCounter("resultcache_gc_evicted_total", "entries evicted by GC")
+	mGCFreed   = obs.NewCounter("resultcache_gc_freed_bytes_total", "bytes freed by GC (stale temp files included)")
+	mGCTmp     = obs.NewCounter("resultcache_gc_tmp_files_total", "abandoned put-*.tmp files removed by GC")
 )
 
 // GCStats reports what one GC pass found and removed.
@@ -53,6 +64,17 @@ func (c *Cache) GC(maxBytes int64) (GCStats, error) {
 		return GCStats{}, fmt.Errorf("resultcache: gc: %w", err)
 	}
 	var st GCStats
+	// Record telemetry even for a pass that errors mid-eviction: what
+	// was removed is gone either way.
+	defer func() {
+		c.gcRuns.Add(1)
+		c.gcEvicted.Add(int64(st.Evicted))
+		c.gcFreed.Add(st.Freed)
+		mGCRuns.Inc()
+		mGCEvicted.Add(int64(st.Evicted))
+		mGCFreed.Add(st.Freed)
+		mGCTmp.Add(int64(st.TmpFiles))
+	}()
 	if err := c.gcTmp(&st); err != nil {
 		return st, err
 	}

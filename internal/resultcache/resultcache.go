@@ -22,7 +22,19 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
+)
+
+// Process-wide cache telemetry (internal/obs). These aggregate over
+// every open cache in the process; per-cache counters for /v1/stats
+// live on the Cache struct.
+var (
+	mHits       = obs.NewCounter("resultcache_hits_total", "successful cache Gets")
+	mMisses     = obs.NewCounter("resultcache_misses_total", "failed cache Gets (absent, corrupt, or wrong schema)")
+	mWrites     = obs.NewCounter("resultcache_writes_total", "successful cache Puts")
+	mBytesRead  = obs.NewCounter("resultcache_read_bytes_total", "bytes read by cache hits")
+	mBytesWrite = obs.NewCounter("resultcache_written_bytes_total", "bytes written by cache Puts")
 )
 
 // SchemaVersion is the cache format generation. Bump it whenever the
@@ -41,9 +53,17 @@ type Cache struct {
 	dir     string
 	version int
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	writes atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	writes       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+
+	// Cumulative GC telemetry over this cache's lifetime (each pass's
+	// GCStats describes only that pass).
+	gcRuns    atomic.Int64
+	gcEvicted atomic.Int64
+	gcFreed   atomic.Int64
 }
 
 // envelope is the on-disk wrapper: the version and key guard against
@@ -102,15 +122,20 @@ func (c *Cache) Get(key string) (*stats.KernelResult, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.misses.Add(1)
+		mMisses.Inc()
 		return nil, false
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil ||
 		env.Schema != c.version || env.Key != key || env.Result == nil {
 		c.misses.Add(1)
+		mMisses.Inc()
 		return nil, false
 	}
 	c.hits.Add(1)
+	c.bytesRead.Add(int64(len(data)))
+	mHits.Inc()
+	mBytesRead.Add(int64(len(data)))
 	c.touch(key)
 	return env.Result, true
 }
@@ -140,6 +165,9 @@ func (c *Cache) Put(key string, r *stats.KernelResult) error {
 		return fmt.Errorf("resultcache: %w", err)
 	}
 	c.writes.Add(1)
+	c.bytesWritten.Add(int64(len(data)))
+	mWrites.Inc()
+	mBytesWrite.Add(int64(len(data)))
 	return nil
 }
 
@@ -151,3 +179,19 @@ func (c *Cache) Misses() int64 { return c.misses.Load() }
 
 // Writes returns the number of successful Puts since Open.
 func (c *Cache) Writes() int64 { return c.writes.Load() }
+
+// BytesRead returns the bytes returned by cache hits since Open.
+func (c *Cache) BytesRead() int64 { return c.bytesRead.Load() }
+
+// BytesWritten returns the bytes written by Puts since Open.
+func (c *Cache) BytesWritten() int64 { return c.bytesWritten.Load() }
+
+// GCRuns returns the number of GC passes since Open.
+func (c *Cache) GCRuns() int64 { return c.gcRuns.Load() }
+
+// GCEvicted returns entries evicted across all GC passes since Open.
+func (c *Cache) GCEvicted() int64 { return c.gcEvicted.Load() }
+
+// GCFreed returns bytes freed across all GC passes since Open (stale
+// temp files included).
+func (c *Cache) GCFreed() int64 { return c.gcFreed.Load() }
