@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath fastforwardtest benchbuild daemontest obstest benchdiff benchdiff-write baseline check bench benchquick report papercheck
+.PHONY: build test vet race fastpath fastforwardtest benchbuild daemontest obstest clustertest benchdiff benchdiff-write baseline check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ daemontest:
 obstest:
 	$(GO) test -race -count=1 -run 'TestMetricsEndpointServesPrometheus|TestTraceSpansCoverBatchLifecycle|TestDebugHandlerServesMetricsVarsAndPprof|TestHeartbeat' ./internal/daemon ./internal/obs ./internal/gpu
 
+# The sweep cluster under the race detector, re-run every time: the
+# acceptance test spins up three in-process daemons sharing a cache,
+# kills one mid-batch and asserts the assembled suite is byte-identical
+# to a serial run — real sockets and timing, so no test-cache reuse.
+clustertest:
+	$(GO) test -race -count=1 ./internal/cluster
+
 # Diff the latest bench run against the newest recorded snapshot in
 # results/ (bench-<git-sha>.json). Non-blocking in check: a missing or
 # stale bench.txt should not fail unrelated changes. To advance the
@@ -64,7 +71,7 @@ benchdiff-write:
 
 baseline: bench benchdiff-write
 
-check: vet race fastpath fastforwardtest daemontest obstest benchbuild
+check: vet race fastpath fastforwardtest daemontest obstest clustertest benchbuild
 	-$(MAKE) benchdiff
 
 # Statistically meaningful bench run for before/after comparisons:

@@ -11,10 +11,19 @@
 //	report -jobs 1         # serial (bit-identical to the parallel run)
 //	report -cache .simcache  # memoize results; warm re-runs are instant
 //	report -daemon 127.0.0.1:9753  # run on a prosimd daemon instead
+//	report -workers a:9753,b:9753  # fan out across a prosimd cluster
+//	report -shard 2/3 -cache /shared/simcache  # run slice 2 of 3 only
 //
 // With -daemon the simulations execute on a running prosimd instance
 // (sharing its warm cache and deduping against other clients); -jobs and
 // -cache then configure the daemon, not this process, and are ignored.
+// With -workers they fan out across several prosimd instances through a
+// work-stealing coordinator (retrying on worker loss); -cache is then
+// the coordinator's shared merge cache. With -shard i/n the tool runs
+// only its deterministic slice of the full job list (by result-cache
+// key) and emits no artifacts — point n machines at a shared cache, one
+// per shard, then run once without -shard to assemble everything from
+// the cache without simulating.
 //
 // Progress and timing go to stderr; stdout carries only the artifacts.
 package main
@@ -26,8 +35,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/daemon"
 	"repro/internal/experiments"
 	"repro/internal/jobs"
@@ -45,12 +56,18 @@ func main() {
 	cacheDir := flag.String("cache", "", "result-cache directory (optional; makes warm re-runs instant)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
+	workersFlag := flag.String("workers", "", "fan simulations out across these comma-separated prosimd addresses (work-stealing coordinator; -cache is the shared merge cache)")
+	shardSpec := flag.String("shard", "", "run only slice i/n of the full job list (e.g. 2/3) against a shared cache and emit no artifacts")
 	traceOut := flag.String("trace-out", "", "write NDJSON job-lifecycle spans to this file (\"-\" = stderr; local runs only)")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 
-	if _, err := logCfg.Setup(); err != nil {
+	log, err := logCfg.Setup()
+	if err != nil {
 		fatal(err)
+	}
+	if *daemonAddr != "" && *workersFlag != "" {
+		fatal(fmt.Errorf("-daemon and -workers are mutually exclusive"))
 	}
 
 	emit := func(name, content string) {
@@ -81,6 +98,24 @@ func main() {
 		}
 		client.Progress = progress
 		run = client
+	} else if *workersFlag != "" {
+		var addrs []string
+		for _, a := range strings.Split(*workersFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Workers:  addrs,
+			CacheDir: *cacheDir,
+			Log:      log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+		coord.OnProgress = progress
+		run = coord
 	} else {
 		var err error
 		eng, err = jobs.New(*njobs, *cacheDir, progress)
@@ -98,8 +133,20 @@ func main() {
 		run = eng
 	}
 
-	suite, err := experiments.RunSuite(workloads.All(),
-		[]string{"TL", "LRR", "GTO", "PRO"}, *maxTBs, run)
+	scheds := []string{"TL", "LRR", "GTO", "PRO"}
+	if *shardSpec != "" {
+		// Shard mode: run this machine's deterministic slice of every job
+		// the full report would execute (suite grid, timelines, order
+		// trace), warming the shared cache, and emit no artifacts. The
+		// final artifact pass is a run without -shard: with every shard
+		// done it assembles purely from the cache.
+		if err := runShard(*shardSpec, scheds, *maxTBs, run, start); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	suite, err := experiments.RunSuite(workloads.All(), scheds, *maxTBs, run)
 	if err != nil {
 		fatal(err)
 	}
@@ -209,6 +256,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cache-gc: evicted %d of %d entries, freed %d bytes\n",
 			st.Evicted, st.Entries, st.Freed)
 	}
+}
+
+// runShard executes slice i/n of every job the full report would run —
+// the suite grid, both Fig. 2 timelines and the Table IV order trace —
+// warming the shared result cache without emitting artifacts.
+func runShard(spec string, scheds []string, maxTBs int, run jobs.Runner, start time.Time) error {
+	i, n, err := cluster.ParseShard(spec)
+	if err != nil {
+		return err
+	}
+	batch := experiments.SuiteJobs(workloads.All(), scheds, maxTBs)
+	aes, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		return err
+	}
+	if maxTBs > 0 {
+		aes = aes.Shrunk(maxTBs)
+	}
+	batch = append(batch,
+		experiments.TimelineJob(aes, "LRR"),
+		experiments.TimelineJob(aes, "PRO"),
+		experiments.OrderTraceJob(aes, 0))
+	slice, err := cluster.Shard(i, n, batch)
+	if err != nil {
+		return err
+	}
+	if _, err := run.Run(context.Background(), slice); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shard %d/%d: ran %d of %d jobs in %.1fs\n",
+		i+1, n, len(slice), len(batch), time.Since(start).Seconds())
+	return nil
 }
 
 func fatal(err error) {

@@ -13,8 +13,12 @@
 // simulates the new points. With -daemon ADDR the points execute on a
 // running prosimd instance instead (sharing its warm cache and deduping
 // against concurrent clients); -jobs and -cache then belong to the
-// daemon and are ignored here. Progress goes to stderr; stdout carries
-// only the tables.
+// daemon and are ignored here. With -workers the points fan out across
+// several prosimd instances through a work-stealing coordinator. With
+// -shard i/n only slice i of n of the selected sweeps' points run (by
+// result-cache key, against a shared -cache) and no tables print — run
+// once without -shard afterwards to print everything from the cache.
+// Progress goes to stderr; stdout carries only the tables.
 //
 // Usage:
 //
@@ -22,6 +26,8 @@
 //	sweep -threshold -kernel aesEncrypt128
 //	sweep -cache .simcache
 //	sweep -daemon unix:/tmp/prosimd.sock -threshold
+//	sweep -workers 127.0.0.1:9753,127.0.0.1:9754 -cache /shared/simcache
+//	sweep -shard 1/2 -cache /shared/simcache
 package main
 
 import (
@@ -32,7 +38,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/jobs"
@@ -42,8 +50,9 @@ import (
 	"repro/prosim"
 )
 
-// runner executes every sweep batch: a local jobs.Engine, or a
-// daemon.Client when -daemon is set.
+// runner executes every sweep batch: a local jobs.Engine, a
+// daemon.Client when -daemon is set, or a cluster.Coordinator when
+// -workers is set.
 var runner jobs.Runner
 
 func main() {
@@ -59,14 +68,19 @@ func main() {
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
+	workersFlag := flag.String("workers", "", "fan simulations out across these comma-separated prosimd addresses (work-stealing coordinator; -cache is the shared merge cache)")
+	shardSpec := flag.String("shard", "", "run only slice i/n of the selected sweeps' points (e.g. 2/3) against a shared cache and print no tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 
-	if _, err := logCfg.Setup(); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+	log, err := logCfg.Setup()
+	if err != nil {
+		fatal(err)
+	}
+	if *daemonAddr != "" && *workersFlag != "" {
+		fatal(fmt.Errorf("-daemon and -workers are mutually exclusive"))
 	}
 
 	if *cpuprofile != "" {
@@ -95,6 +109,24 @@ func main() {
 		}
 		client.Progress = progress
 		runner = client
+	} else if *workersFlag != "" {
+		var addrs []string
+		for _, a := range strings.Split(*workersFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Workers:  addrs,
+			CacheDir: *cacheDir,
+			Log:      log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+		coord.OnProgress = progress
+		runner = coord
 	} else {
 		eng, err := jobs.New(*njobs, *cacheDir, progress)
 		if err != nil {
@@ -115,17 +147,49 @@ func main() {
 		targets = append(targets, w)
 	}
 
+	if *shardSpec != "" {
+		// Shard mode: run this machine's deterministic slice of every
+		// point the selected sweeps would simulate, warming the shared
+		// cache; the tables print on a later run without -shard.
+		i, n, err := cluster.ParseShard(*shardSpec)
+		if err != nil {
+			fatal(err)
+		}
+		var batch []jobs.Job
+		if *ablate {
+			batch = append(batch, ablationJobs(targets)...)
+		}
+		if *variants {
+			batch = append(batch, variantJobs(targets)...)
+		}
+		if *l1Sweep {
+			batch = append(batch, l1Jobs(targets)...)
+		}
+		if *threshold {
+			batch = append(batch, thresholdJobs(targets)...)
+		}
+		slice, err := cluster.Shard(i, n, batch)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		run(slice)
+		fmt.Fprintf(os.Stderr, "shard %d/%d: ran %d of %d jobs in %.1fs\n",
+			i+1, n, len(slice), len(batch), time.Since(start).Seconds())
+		return
+	}
+
 	if *ablate {
-		runAblation(targets)
+		printAblation(targets, run(ablationJobs(targets)))
 	}
 	if *variants {
-		runVariants(targets)
+		printVariants(targets, run(variantJobs(targets)))
 	}
 	if *l1Sweep {
-		runL1Sweep(targets)
+		printL1Sweep(targets, run(l1Jobs(targets)))
 	}
 	if *threshold {
-		runThresholdSweep(targets)
+		printThresholdSweep(targets, run(thresholdJobs(targets)))
 	}
 
 	if *cacheGC != "" {
@@ -164,45 +228,33 @@ func run(batch []jobs.Job) []*stats.KernelResult {
 	return rs
 }
 
-// runAblation compares PRO against PRO-nobar per kernel (Sec. IV).
-func runAblation(targets []*prosim.Workload) {
-	rs := run(jobs.Grid(targets, []string{"PRO", "PRO-nobar"}, 0, prosim.Options{}))
-	fmt.Println("Ablation — PRO barrier handling (Sec. IV: scalarProd gains when disabled)")
-	fmt.Printf("%-28s %12s %12s %10s\n", "KERNEL", "PRO", "PRO-nobar", "nobar/PRO")
-	for i, w := range targets {
-		on, off := rs[2*i], rs[2*i+1]
-		fmt.Printf("%-28s %12d %12d %9.3fx\n", w.Kernel, on.Cycles, off.Cycles,
-			float64(on.Cycles)/float64(off.Cycles))
-	}
-	fmt.Println()
+// ---- Batch builders ----
+//
+// Each sweep's exact job list, separate from its printer so the shard
+// selector can enumerate (and slice) the points without running them.
+
+// ablationJobs is the PRO vs PRO-nobar grid (Sec. IV).
+func ablationJobs(targets []*prosim.Workload) []jobs.Job {
+	return jobs.Grid(targets, []string{"PRO", "PRO-nobar"}, 0, prosim.Options{})
 }
 
-// runVariants compares PRO against the future-work variants.
-func runVariants(targets []*prosim.Workload) {
-	names := []string{"PRO", "PRO-nobar", "PRO-adaptive", "PRO-norm"}
-	rs := run(jobs.Grid(targets, names, 0, prosim.Options{}))
-	fmt.Println("Future-work variants (Sec. IV profiling, Sec. III-A normalized progress)")
-	fmt.Printf("%-28s", "KERNEL")
-	for _, n := range names {
-		fmt.Printf(" %13s", n)
-	}
-	fmt.Println()
-	for i, w := range targets {
-		fmt.Printf("%-28s", w.Kernel)
-		for k := range names {
-			fmt.Printf(" %13d", rs[i*len(names)+k].Cycles)
-		}
-		fmt.Println()
-	}
-	fmt.Println()
+// variantNames orders the future-work variant comparison.
+var variantNames = []string{"PRO", "PRO-nobar", "PRO-adaptive", "PRO-norm"}
+
+// variantJobs is the future-work variant grid.
+func variantJobs(targets []*prosim.Workload) []jobs.Job {
+	return jobs.Grid(targets, variantNames, 0, prosim.Options{})
 }
 
-// runThresholdSweep sweeps the PRO re-sort threshold per kernel.
-func runThresholdSweep(targets []*prosim.Workload) {
-	thresholds := []int64{250, 500, 1000, 2000, 4000}
+// sweepThresholds are the re-sort THRESHOLD points (paper: 1000).
+var sweepThresholds = []int64{250, 500, 1000, 2000, 4000}
+
+// thresholdJobs is the re-sort threshold grid, threshold-major within
+// each kernel.
+func thresholdJobs(targets []*prosim.Workload) []jobs.Job {
 	var batch []jobs.Job
 	for _, w := range targets {
-		for _, th := range thresholds {
+		for _, th := range sweepThresholds {
 			batch = append(batch, jobs.Job{
 				Launch:     w.Launch,
 				Kernel:     w.Kernel,
@@ -211,34 +263,22 @@ func runThresholdSweep(targets []*prosim.Workload) {
 			})
 		}
 	}
-	rs := run(batch)
-	fmt.Println("Ablation — PRO re-sort THRESHOLD (paper uses 1000 cycles)")
-	fmt.Printf("%-28s", "KERNEL")
-	for _, th := range thresholds {
-		fmt.Printf(" %9d", th)
-	}
-	fmt.Println()
-	for i, w := range targets {
-		fmt.Printf("%-28s", w.Kernel)
-		for k := range thresholds {
-			fmt.Printf(" %9d", rs[i*len(thresholds)+k].Cycles)
-		}
-		fmt.Println()
-	}
+	return batch
 }
 
-// runL1Sweep sweeps the per-SM L1 capacity for the given workloads under
-// LRR and PRO, printing cycles and L1 miss rate at each point. The
-// paper's future work targets "improving cache and memory performance of
-// high priority warps"; this sweep shows how much headroom the L1 leaves
-// on each kernel.
-func runL1Sweep(targets []*prosim.Workload) {
-	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10}
-	scheds := []string{"LRR", "PRO"}
+// l1Sizes and l1Scheds define the L1 sensitivity grid.
+var (
+	l1Sizes  = []int{8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	l1Scheds = []string{"LRR", "PRO"}
+)
+
+// l1Jobs is the L1 capacity grid, size-major within each
+// kernel/scheduler pair.
+func l1Jobs(targets []*prosim.Workload) []jobs.Job {
 	var batch []jobs.Job
 	for _, w := range targets {
-		for _, sched := range scheds {
-			for _, size := range sizes {
+		for _, sched := range l1Scheds {
+			for _, size := range l1Sizes {
 				cfg := prosim.GTX480()
 				cfg.L1Size = size
 				batch = append(batch, jobs.Job{
@@ -250,18 +290,74 @@ func runL1Sweep(targets []*prosim.Workload) {
 			}
 		}
 	}
-	rs := run(batch)
+	return batch
+}
+
+// ---- Printers ----
+
+// printAblation compares PRO against PRO-nobar per kernel (Sec. IV).
+func printAblation(targets []*prosim.Workload, rs []*stats.KernelResult) {
+	fmt.Println("Ablation — PRO barrier handling (Sec. IV: scalarProd gains when disabled)")
+	fmt.Printf("%-28s %12s %12s %10s\n", "KERNEL", "PRO", "PRO-nobar", "nobar/PRO")
+	for i, w := range targets {
+		on, off := rs[2*i], rs[2*i+1]
+		fmt.Printf("%-28s %12d %12d %9.3fx\n", w.Kernel, on.Cycles, off.Cycles,
+			float64(on.Cycles)/float64(off.Cycles))
+	}
+	fmt.Println()
+}
+
+// printVariants compares PRO against the future-work variants.
+func printVariants(targets []*prosim.Workload, rs []*stats.KernelResult) {
+	fmt.Println("Future-work variants (Sec. IV profiling, Sec. III-A normalized progress)")
+	fmt.Printf("%-28s", "KERNEL")
+	for _, n := range variantNames {
+		fmt.Printf(" %13s", n)
+	}
+	fmt.Println()
+	for i, w := range targets {
+		fmt.Printf("%-28s", w.Kernel)
+		for k := range variantNames {
+			fmt.Printf(" %13d", rs[i*len(variantNames)+k].Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// printThresholdSweep prints the re-sort threshold sensitivity.
+func printThresholdSweep(targets []*prosim.Workload, rs []*stats.KernelResult) {
+	fmt.Println("Ablation — PRO re-sort THRESHOLD (paper uses 1000 cycles)")
+	fmt.Printf("%-28s", "KERNEL")
+	for _, th := range sweepThresholds {
+		fmt.Printf(" %9d", th)
+	}
+	fmt.Println()
+	for i, w := range targets {
+		fmt.Printf("%-28s", w.Kernel)
+		for k := range sweepThresholds {
+			fmt.Printf(" %9d", rs[i*len(sweepThresholds)+k].Cycles)
+		}
+		fmt.Println()
+	}
+}
+
+// printL1Sweep prints cycles and L1 miss rate at each capacity point.
+// The paper's future work targets "improving cache and memory
+// performance of high priority warps"; this sweep shows how much
+// headroom the L1 leaves on each kernel.
+func printL1Sweep(targets []*prosim.Workload, rs []*stats.KernelResult) {
 	fmt.Println("Sensitivity — L1 capacity (cycles @ L1 miss rate)")
 	fmt.Printf("%-28s %-5s", "KERNEL", "SCHED")
-	for _, s := range sizes {
+	for _, s := range l1Sizes {
 		fmt.Printf(" %16s", fmt.Sprintf("L1=%dKB", s>>10))
 	}
 	fmt.Println()
 	i := 0
 	for _, w := range targets {
-		for _, sched := range scheds {
+		for _, sched := range l1Scheds {
 			fmt.Printf("%-28s %-5s", w.Kernel, sched)
-			for range sizes {
+			for range l1Sizes {
 				r := rs[i]
 				i++
 				fmt.Printf(" %10d@%4.1f%%", r.Cycles, 100*r.Mem.L1MissRate())

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/jobs"
+	"repro/internal/stats"
+)
+
+// testCluster starts n in-process prosimd daemons sharing one result
+// cache directory and returns their addresses plus the servers (so a
+// test can kill one).
+func testCluster(t *testing.T, n int, cacheDir string) (addrs []string, srvs []*httptest.Server) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		d, err := daemon.New(daemon.Config{Workers: 2, CacheDir: cacheDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(d.Handler())
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, srv.URL)
+		srvs = append(srvs, srv)
+	}
+	return addrs, srvs
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClusterSurvivesWorkerLossAndMatchesSerial is the subsystem's
+// acceptance test: a batch fanned across three workers completes after
+// one of them dies with jobs queued (its work retried on the
+// survivors), the assembled results are byte-identical to a serial
+// single-process run, and a fresh coordinator re-running the same batch
+// dispatches nothing — full merge from the shared cache.
+func TestClusterSurvivesWorkerLossAndMatchesSerial(t *testing.T) {
+	cacheDir := t.TempDir()
+	addrs, srvs := testCluster(t, 3, cacheDir)
+	batch := gridBatch(t)
+
+	// The serial reference run (its own cache-less engine).
+	eng, err := jobs.New(1, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := New(Config{
+		Workers:        addrs,
+		CacheDir:       cacheDir,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		HealthInterval: -1, // losses detected through failed dispatches
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Kill the worker that owns the first job's shard (it necessarily
+	// has work queued) after the healthy New probe — its lanes fail
+	// their dispatches while the batch is in flight, and the survivors
+	// absorb the stranded queue.
+	keys, err := batchKeys(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := shardOf(keys[0], len(addrs))
+	srvs[victim].CloseClientConnections()
+	srvs[victim].Close()
+
+	retriesBefore := mRetries.Value()
+	got, err := coord.Run(context.Background(), batch)
+	if err != nil {
+		t.Fatalf("cluster run with a dead worker: %v", err)
+	}
+	compareResults(t, want, got, "cluster vs serial")
+
+	st := coord.Snapshot()
+	if st.Retries < 1 {
+		t.Fatalf("worker loss triggered %d retries, want >= 1", st.Retries)
+	}
+	if mRetries.Value() <= retriesBefore {
+		t.Fatal("cluster_retries_total did not advance on worker loss")
+	}
+	if !st.Workers[victim].Down {
+		t.Fatalf("killed worker %s not marked down", addrs[victim])
+	}
+	if st.Workers[victim].Dispatched < 1 {
+		t.Fatalf("victim recorded %d dispatches, want >= 1 (the failed attempts)", st.Workers[victim].Dispatched)
+	}
+
+	// A fresh coordinator over the survivors re-runs the batch without a
+	// single dispatch: every job merges from the shared cache.
+	survivors := append([]string{}, addrs[:victim]...)
+	survivors = append(survivors, addrs[victim+1:]...)
+	coord2, err := New(Config{Workers: survivors, CacheDir: cacheDir, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	got2, err := coord2.Run(context.Background(), batch)
+	if err != nil {
+		t.Fatalf("merge-only re-run: %v", err)
+	}
+	compareResults(t, want, got2, "merge-only re-run vs serial")
+	st2 := coord2.Snapshot()
+	if st2.MergeHits != int64(len(batch)) {
+		t.Fatalf("re-run merged %d of %d jobs from cache", st2.MergeHits, len(batch))
+	}
+	for _, w := range st2.Workers {
+		if w.Dispatched != 0 {
+			t.Fatalf("re-run dispatched %d jobs to %s, want 0 (full merge)", w.Dispatched, w.Addr)
+		}
+	}
+}
+
+// TestCoordinatorProgressEvents: every job of a batch produces exactly
+// one progress event, and merge hits are flagged FromCache.
+func TestCoordinatorProgressEvents(t *testing.T) {
+	cacheDir := t.TempDir()
+	addrs, _ := testCluster(t, 2, cacheDir)
+	batch := gridBatch(t)
+
+	coord, err := New(Config{Workers: addrs, CacheDir: cacheDir, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var events, cached int
+	coord.OnProgress = func(ev jobs.Event) {
+		events++
+		if ev.FromCache {
+			cached++
+		}
+	}
+	if _, err := coord.Run(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if events != len(batch) {
+		t.Fatalf("first run emitted %d events for %d jobs", events, len(batch))
+	}
+
+	events, cached = 0, 0
+	if _, err := coord.Run(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if events != len(batch) || cached != len(batch) {
+		t.Fatalf("warm run emitted %d events (%d cached) for %d jobs", events, cached, len(batch))
+	}
+}
+
+func compareResults(t *testing.T, want, got []*stats.KernelResult, what string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results vs %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(mustJSON(t, want[i]), mustJSON(t, got[i])) {
+			t.Fatalf("%s: result %d differs", what, i)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// The merge pass: batch assembly purely from the result cache. Workers
+// write every simulated result into the shared content-addressed cache,
+// so the authoritative way to collect a sweep is not to trust whatever
+// crossed the wire but to look each job's key up again — an interrupted
+// coordinator re-run then dispatches only what is genuinely missing,
+// and a completed sweep assembles with zero simulations anywhere.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/jobs"
+	"repro/internal/resultcache"
+	"repro/internal/stats"
+)
+
+// Merge assembles one result per job purely from the result cache.
+// results[k] is nil exactly for the jobs whose keys are absent; their
+// positions are returned in missing (batch order). An unshardable job
+// (no stable identity) is an error — it can never be merged from a
+// cache.
+func Merge(cache *resultcache.Cache, js []jobs.Job) (results []*stats.KernelResult, missing []int, err error) {
+	keys, err := batchKeys(js)
+	if err != nil {
+		return nil, nil, err
+	}
+	results = make([]*stats.KernelResult, len(js))
+	for k := range js {
+		if r, ok := cache.Get(keys[k]); ok {
+			results[k] = r
+			mMergeHits.Inc()
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	return results, missing, nil
+}
+
+// batchKeys computes the result-cache key of every job, failing on jobs
+// without a stable identity.
+func batchKeys(js []jobs.Job) ([]string, error) {
+	keys := make([]string, len(js))
+	for k := range js {
+		key, ok, err := jobs.Key(&js[k])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: job %d (%s/%s): %w", k, js[k].Label(), js[k].SchedLabel(), err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("cluster: job %d (%s/%s) has no stable identity",
+				k, js[k].Label(), js[k].SchedLabel())
+		}
+		keys[k] = key
+	}
+	return keys, nil
+}

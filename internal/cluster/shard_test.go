@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/jobs"
+	"repro/internal/workloads"
+	"repro/prosim"
+)
+
+// gridBatch builds a realistic multi-kernel batch with a few duplicate
+// jobs (equal cache keys) appended, since dedupe happens downstream of
+// sharding.
+func gridBatch(t *testing.T) []jobs.Job {
+	t.Helper()
+	var ws []*workloads.Workload
+	for _, k := range []string{"aesEncrypt128", "scalarProdGPU", "calculate_temp"} {
+		w, err := workloads.ByKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	batch := jobs.Grid(ws, []string{"TL", "LRR", "GTO", "PRO"}, 8, gpu.Options{})
+	return append(batch, batch[0], batch[len(batch)-1])
+}
+
+func batchKey(t *testing.T, j *jobs.Job) string {
+	t.Helper()
+	key, ok, err := jobs.Key(j)
+	if err != nil || !ok {
+		t.Fatalf("job %s/%s has no key: ok=%v err=%v", j.Label(), j.SchedLabel(), ok, err)
+	}
+	return key
+}
+
+// TestShardPartition: for any n, the shards of a batch are disjoint and
+// their union is exactly the batch — every job runs on exactly one
+// machine.
+func TestShardPartition(t *testing.T) {
+	batch := gridBatch(t)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		seen := make([]int, len(batch))
+		total := 0
+		for i := 0; i < n; i++ {
+			idx, err := ShardIndices(i, n, batch)
+			if err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, i, err)
+			}
+			for _, k := range idx {
+				seen[k]++
+			}
+			total += len(idx)
+
+			// Shard must return the same jobs in batch order.
+			slice, err := Shard(i, n, batch)
+			if err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, i, err)
+			}
+			if len(slice) != len(idx) {
+				t.Fatalf("n=%d shard %d: Shard returned %d jobs, ShardIndices %d", n, i, len(slice), len(idx))
+			}
+			for k, j := range idx {
+				if batchKey(t, &slice[k]) != batchKey(t, &batch[j]) {
+					t.Fatalf("n=%d shard %d: job %d does not match index %d", n, i, k, j)
+				}
+			}
+		}
+		if total != len(batch) {
+			t.Fatalf("n=%d: shards cover %d of %d jobs", n, total, len(batch))
+		}
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: job %d appears in %d shards, want exactly 1", n, k, c)
+			}
+		}
+	}
+}
+
+// TestShardStability: assignment depends only on (key, n) — reordering
+// the batch never moves a job to a different shard, and jobs with equal
+// keys always land together.
+func TestShardStability(t *testing.T) {
+	batch := gridBatch(t)
+	const n = 3
+
+	shardByKey := map[string]int{}
+	for i := 0; i < n; i++ {
+		slice, err := Shard(i, n, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range slice {
+			key := batchKey(t, &slice[k])
+			if prev, ok := shardByKey[key]; ok && prev != i {
+				t.Fatalf("equal-key jobs split across shards %d and %d", prev, i)
+			}
+			shardByKey[key] = i
+		}
+	}
+
+	// Reverse the batch and check every job keeps its shard.
+	rev := make([]jobs.Job, len(batch))
+	for k := range batch {
+		rev[len(batch)-1-k] = batch[k]
+	}
+	for i := 0; i < n; i++ {
+		slice, err := Shard(i, n, rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range slice {
+			key := batchKey(t, &slice[k])
+			if shardByKey[key] != i {
+				t.Fatalf("job %s moved from shard %d to %d after reordering", shortKey(key), shardByKey[key], i)
+			}
+		}
+	}
+}
+
+// TestShardRejectsAnonymousJobs: a job without a stable identity cannot
+// be placed reproducibly.
+func TestShardRejectsAnonymousJobs(t *testing.T) {
+	w, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := jobs.Job{Launch: w.Launch, Kernel: w.Kernel, Factory: prosim.PRO()}
+	if _, err := ShardIndices(0, 2, []jobs.Job{anon}); err == nil {
+		t.Fatal("sharding an anonymous-factory job succeeded, want error")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	i, n, err := ParseShard("2/3")
+	if err != nil || i != 1 || n != 3 {
+		t.Fatalf("ParseShard(2/3) = %d, %d, %v; want 1, 3, nil", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "0/3", "4/3", "-1/3", "a/b", "1/0"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) succeeded, want error", bad)
+		}
+	}
+}

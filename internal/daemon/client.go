@@ -19,6 +19,7 @@ import (
 // so everything that takes a local engine — experiments.RunSuite, the
 // cmd/ tools — can transparently target a daemon instead.
 type Client struct {
+	addr string
 	base string
 	hc   *http.Client
 
@@ -29,12 +30,62 @@ type Client struct {
 	Progress func(jobs.Event)
 }
 
-// Dial connects to a daemon at addr — "unix:<path>" for a unix socket,
-// otherwise a TCP host:port (an explicit http:// base is also accepted)
-// — and verifies it responds to /v1/stats so a missing daemon fails
-// fast rather than on first batch.
-func Dial(addr string) (*Client, error) {
-	c := &Client{hc: &http.Client{}}
+// TransportError reports a batch that failed between the client and a
+// daemon — connect, submit, or a mid-stream disconnect — as opposed to
+// a job that ran and returned an error. Work lost to a TransportError
+// never completed on the worker's stream, so a coordinator can retry it
+// on a surviving replica; a plain job error must not be retried. Addr
+// names the worker and Pending the result-cache keys of the jobs still
+// unresolved when the transport broke, so retry logs are actionable.
+type TransportError struct {
+	Addr    string
+	Pending []string
+	Err     error
+}
+
+func (e *TransportError) Error() string {
+	if len(e.Pending) == 0 {
+		return fmt.Sprintf("daemon: worker %s: %v", e.Addr, e.Err)
+	}
+	return fmt.Sprintf("daemon: worker %s: %v (pending jobs: %s)",
+		e.Addr, e.Err, strings.Join(e.Pending, ", "))
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// transportErr wraps err with the worker address and the keys of the
+// jobs that had no result yet. resolved[i] marks jobs whose outcome the
+// stream delivered before breaking.
+func (c *Client) transportErr(err error, js []jobs.Job, resolved []bool) error {
+	te := &TransportError{Addr: c.addr, Err: err}
+	for i := range js {
+		if resolved != nil && resolved[i] {
+			continue
+		}
+		key, ok, kerr := jobs.Key(&js[i])
+		if kerr != nil || !ok {
+			key = js[i].Kernel // best-effort label for keyless jobs
+		}
+		te.Pending = append(te.Pending, shortKey(key))
+	}
+	return te
+}
+
+// shortKey abbreviates a 64-hex-char cache key for log lines.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// NewClient builds a client for a daemon at addr — "unix:<path>" for a
+// unix socket, otherwise a TCP host:port (an explicit http:// base is
+// also accepted) — without probing it. Callers that tolerate a dead
+// endpoint (the cluster coordinator, which health-checks continuously)
+// use this; interactive tools use Dial for its fail-fast probe.
+func NewClient(addr string) *Client {
+	c := &Client{addr: addr, hc: &http.Client{}}
 	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
 		c.base = "http://prosimd" // authority is ignored over a socket
 		c.hc.Transport = &http.Transport{
@@ -48,6 +99,17 @@ func Dial(addr string) (*Client, error) {
 	} else {
 		c.base = "http://" + addr
 	}
+	return c
+}
+
+// Addr returns the address the client was built with.
+func (c *Client) Addr() string { return c.addr }
+
+// Dial connects to a daemon at addr (NewClient syntax) and verifies it
+// responds to /v1/stats so a missing daemon fails fast rather than on
+// first batch.
+func Dial(addr string) (*Client, error) {
+	c := NewClient(addr)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if _, err := c.Stats(ctx); err != nil {
@@ -83,7 +145,7 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("daemon: submit: %w", err)
+		return nil, c.transportErr(fmt.Errorf("submit: %w", err), js, nil)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -91,6 +153,10 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 		return nil, fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 
+	// resolved[i] flips when the stream reports job i's outcome; jobs
+	// still false when the stream breaks are named in the error so a
+	// coordinator's retry log says exactly what work was lost where.
+	resolved := make([]bool, len(js))
 	dec := json.NewDecoder(resp.Body)
 	var batch *Event
 	for {
@@ -99,10 +165,13 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 			if err == io.EOF {
 				break
 			}
-			return nil, fmt.Errorf("daemon: reading stream: %w", err)
+			return nil, c.transportErr(fmt.Errorf("stream broke mid-batch: %w", err), js, resolved)
 		}
 		switch ev.Type {
 		case "job":
+			if ev.Index >= 0 && ev.Index < len(js) {
+				resolved[ev.Index] = true
+			}
 			if c.Progress != nil {
 				jev := jobs.Event{
 					Kernel:    ev.Kernel,
@@ -122,10 +191,10 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 		}
 	}
 	if batch == nil {
-		return nil, fmt.Errorf("daemon: stream ended without results (daemon shut down?)")
+		return nil, c.transportErr(fmt.Errorf("stream ended without results (daemon shut down?)"), js, resolved)
 	}
 	if len(batch.Results) != len(js) {
-		return nil, fmt.Errorf("daemon: got %d results for %d jobs", len(batch.Results), len(js))
+		return nil, c.transportErr(fmt.Errorf("got %d results for %d jobs", len(batch.Results), len(js)), js, resolved)
 	}
 	out := make([]*stats.KernelResult, len(js))
 	for i, jr := range batch.Results {
@@ -157,6 +226,47 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, fmt.Errorf("daemon: stats: %w", err)
 	}
 	return &st, nil
+}
+
+// Health probes the daemon's /v1/health endpoint. Older daemons predate
+// the endpoint and answer 404; the client then falls back to /v1/stats
+// and synthesizes the probe from its fields (such a daemon cannot
+// report draining — absent fields decode to their zero values, which is
+// the wire-compat contract for every additive daemon field).
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, &TransportError{Addr: c.addr, Err: fmt.Errorf("health: %w", err)}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			return nil, fmt.Errorf("daemon: health: %w", err)
+		}
+		return &h, nil
+	case http.StatusNotFound:
+		// Pre-health daemon: /v1/stats proves liveness and carries the
+		// same in-flight/uptime/worker numbers.
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Health{
+			Status:    "ok",
+			Draining:  st.Draining,
+			InFlight:  st.InFlight,
+			UptimeSec: st.UptimeSec,
+			Workers:   st.Workers,
+		}, nil
+	default:
+		return nil, fmt.Errorf("daemon: health: %s", resp.Status)
+	}
 }
 
 // GC asks the daemon to evict result-cache entries down to size

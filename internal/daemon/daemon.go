@@ -8,6 +8,7 @@
 //	POST /v1/batch  submit a job batch; the response streams NDJSON
 //	                progress events and ends with the results
 //	GET  /v1/stats  engine/cache/in-flight counters
+//	GET  /v1/health liveness probe (drain flag, in-flight, uptime)
 //	POST /v1/gc     evict result-cache entries down to a size budget
 //
 // Dedupe semantics (singleflight): every job with a stable identity is
@@ -74,9 +75,9 @@ var (
 // full stream duration — submission to terminal batch line.
 func httpMetrics(path string, h http.HandlerFunc) http.Handler {
 	reqs := obs.NewCounter(
-		fmt.Sprintf("prosimd_http_requests_total{path=%q}", path), "HTTP requests by endpoint")
+		obs.Labeled("prosimd_http_requests_total", "path", path), "HTTP requests by endpoint")
 	lat := obs.NewHistogram(
-		fmt.Sprintf("prosimd_http_request_seconds{path=%q}", path), "HTTP request latency by endpoint", nil)
+		obs.Labeled("prosimd_http_request_seconds", "path", path), "HTTP request latency by endpoint", nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		start := time.Now()
@@ -137,6 +138,7 @@ type Daemon struct {
 	running  atomic.Int64
 	attached atomic.Int64
 	batches  atomic.Int64
+	draining atomic.Bool
 	start    time.Time
 
 	server *http.Server
@@ -194,6 +196,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/batch", httpMetrics("/v1/batch", d.handleBatch))
 	mux.Handle("/v1/stats", httpMetrics("/v1/stats", d.handleStats))
+	mux.Handle("/v1/health", httpMetrics("/v1/health", d.handleHealth))
 	mux.Handle("/v1/gc", httpMetrics("/v1/gc", d.handleGC))
 	mux.Handle("/metrics", obs.Default.Handler())
 	return mux
@@ -227,6 +230,7 @@ func (d *Daemon) Serve(l net.Listener) error {
 // context cancellation and close. It returns nil when everything
 // drained cleanly and the drain error otherwise.
 func (d *Daemon) Shutdown() error {
+	d.draining.Store(true)
 	mDraining.Set(1)
 	defer mDraining.Set(0)
 	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
@@ -467,6 +471,24 @@ func simCycles(r *stats.KernelResult) int64 {
 	return r.Cycles
 }
 
+// handleHealth is the coordinator's liveness probe: always 200 with a
+// tiny JSON body, "draining" once a shutdown began so pollers stop
+// assigning new work while in-flight jobs finish.
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:    "ok",
+		Draining:  d.draining.Load(),
+		InFlight:  d.running.Load(),
+		UptimeSec: time.Since(d.start).Seconds(),
+		Workers:   d.cfg.Workers,
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
 func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := Stats{
 		Completed: d.eng.Completed(),
@@ -477,6 +499,7 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:   d.batches.Load(),
 		UptimeSec: time.Since(d.start).Seconds(),
 		Workers:   d.cfg.Workers,
+		Draining:  d.draining.Load(),
 	}
 	if c := d.eng.Cache; c != nil {
 		st.CacheDir = c.Dir()
@@ -524,24 +547,6 @@ func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(st)
 }
 
-// jobLabel mirrors jobs.Job.label for event reporting.
-func jobLabel(j *jobs.Job) string {
-	if j.Kernel != "" {
-		return j.Kernel
-	}
-	if j.Launch != nil && j.Launch.Program != nil {
-		return j.Launch.Program.Name
-	}
-	return "?"
-}
-
-// schedLabel mirrors jobs.Job.schedLabel for event reporting.
-func schedLabel(j *jobs.Job) string {
-	if j.Factory != nil {
-		if j.FactoryKey != "" {
-			return j.FactoryKey
-		}
-		return "custom"
-	}
-	return j.Scheduler
-}
+// jobLabel and schedLabel name a job in event reporting.
+func jobLabel(j *jobs.Job) string   { return j.Label() }
+func schedLabel(j *jobs.Job) string { return j.SchedLabel() }

@@ -174,6 +174,27 @@ type Stats struct {
 	UptimeSec float64 `json:"uptimeSec"`
 	// Workers is the worker-slot count.
 	Workers int `json:"workers"`
+	// Draining is true once a shutdown began (additive; older daemons
+	// omit it and older clients ignore it — absent decodes as false).
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Health is the body of GET /v1/health — the lightweight liveness probe
+// cluster coordinators poll between batches. Unlike /v1/stats it carries
+// no cache counters, so it stays cheap under a tight polling interval.
+type Health struct {
+	// Status is "ok" while the daemon accepts work and "draining" once a
+	// shutdown began (in-flight jobs are finishing; send new work
+	// elsewhere).
+	Status string `json:"status"`
+	// Draining mirrors Status for programmatic callers.
+	Draining bool `json:"draining"`
+	// InFlight counts jobs executing or queued for a worker slot.
+	InFlight int64 `json:"inFlight"`
+	// UptimeSec is seconds since the daemon started.
+	UptimeSec float64 `json:"uptimeSec"`
+	// Workers is the worker-slot count.
+	Workers int `json:"workers"`
 }
 
 // GCRequest is the body of POST /v1/gc: evict least-recently-used cache

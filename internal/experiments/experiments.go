@@ -38,7 +38,7 @@ type Suite struct {
 // depend on the worker count or on where the jobs execute.
 func RunSuite(ws []*workloads.Workload, scheds []string, maxTBs int, run jobs.Runner) (*Suite, error) {
 	run = runnerOrDefault(run)
-	batch := jobs.Grid(ws, scheds, maxTBs, gpu.Options{})
+	batch := SuiteJobs(ws, scheds, maxTBs)
 	results, err := run.Run(context.Background(), batch)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -220,18 +220,51 @@ func (s *Suite) ComputeTable3() *Table3 {
 	return t
 }
 
+// ---- Batch builders ----
+//
+// The exact jobs each experiment runs, exposed so layers that slice or
+// route batches (the cluster shard selector, cmd/prosweep) can
+// enumerate a harness's full workload without running it.
+
+// SuiteJobs is the batch RunSuite executes: every workload under every
+// named scheduler, scheduler-major within each workload.
+func SuiteJobs(ws []*workloads.Workload, scheds []string, maxTBs int) []jobs.Job {
+	return jobs.Grid(ws, scheds, maxTBs, gpu.Options{})
+}
+
+// TimelineJob is the single job Timeline executes for one workload and
+// scheduler.
+func TimelineJob(w *workloads.Workload, sched string) jobs.Job {
+	return jobs.Job{
+		Launch:    w.Launch,
+		Kernel:    w.Kernel,
+		Scheduler: sched,
+		Options:   prosim.Options{Timeline: true},
+	}
+}
+
+// OrderTraceJob is the single job OrderTrace executes (threshold <= 0
+// means PRO's default re-sort threshold).
+func OrderTraceJob(w *workloads.Workload, threshold int64) jobs.Job {
+	key := "PRO+ordertrace+threshold=default"
+	if threshold > 0 {
+		key = fmt.Sprintf("PRO+ordertrace+threshold=%d", threshold)
+	}
+	return jobs.Job{
+		Launch:     w.Launch,
+		Kernel:     w.Kernel,
+		Factory:    prosim.PRO(proTraceOptions(threshold)...),
+		FactoryKey: key,
+	}
+}
+
 // ---- Fig. 2: thread-block timelines ----
 
 // Timeline runs one workload under one scheduler with span recording and
 // returns the spans for a single SM (the paper plots SM 0). run may be
 // nil (direct run, no cache).
 func Timeline(w *workloads.Workload, sched string, smID int, run jobs.Runner) ([]stats.TBSpan, *stats.KernelResult, error) {
-	rs, err := runnerOrDefault(run).Run(context.Background(), []jobs.Job{{
-		Launch:    w.Launch,
-		Kernel:    w.Kernel,
-		Scheduler: sched,
-		Options:   prosim.Options{Timeline: true},
-	}})
+	rs, err := runnerOrDefault(run).Run(context.Background(), []jobs.Job{TimelineJob(w, sched)})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -250,16 +283,7 @@ func Timeline(w *workloads.Workload, sched string, smID int, run jobs.Runner) ([
 // OrderTrace runs w under PRO with order tracing and returns the SM-0
 // samples. run may be nil (direct run, no cache).
 func OrderTrace(w *workloads.Workload, threshold int64, run jobs.Runner) ([]stats.OrderSample, error) {
-	key := "PRO+ordertrace+threshold=default"
-	if threshold > 0 {
-		key = fmt.Sprintf("PRO+ordertrace+threshold=%d", threshold)
-	}
-	rs, err := runnerOrDefault(run).Run(context.Background(), []jobs.Job{{
-		Launch:     w.Launch,
-		Kernel:     w.Kernel,
-		Factory:    prosim.PRO(proTraceOptions(threshold)...),
-		FactoryKey: key,
-	}})
+	rs, err := runnerOrDefault(run).Run(context.Background(), []jobs.Job{OrderTraceJob(w, threshold)})
 	if err != nil {
 		return nil, err
 	}

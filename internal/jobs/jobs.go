@@ -84,6 +84,15 @@ type Job struct {
 	Cost int64
 }
 
+// Label returns the display name of the job's kernel — what progress
+// events and daemon streams report. Exported for the runner-multiplexing
+// layers (daemon, cluster) that emit events about jobs they did not run
+// themselves.
+func (j *Job) Label() string { return j.label() }
+
+// SchedLabel returns the display name of the job's scheduling policy.
+func (j *Job) SchedLabel() string { return j.schedLabel() }
+
 // label returns the display name of the job's kernel.
 func (j *Job) label() string {
 	if j.Kernel != "" {
@@ -368,6 +377,16 @@ func (e *Engine) Key(j *Job) (key string, ok bool, err error) {
 		key, err = resultcache.Key(resultcache.SchemaVersion, desc)
 	}
 	return key, err == nil, err
+}
+
+// Key returns the content-addressed identity of j without needing an
+// engine or an open cache: the same key Engine.Key computes at the
+// current schema version. Layers that route jobs across processes — the
+// cluster shard selector and coordinator — use it to slice and merge
+// batches by the exact identity the result cache files entries under.
+func Key(j *Job) (key string, ok bool, err error) {
+	var e Engine
+	return e.Key(j)
 }
 
 // runOne resolves, memoizes and executes a single job, converting any

@@ -280,3 +280,12 @@ func NewGaugeFunc(name, help string, fn func() float64) { Default.GaugeFunc(name
 func NewHistogram(name, help string, buckets []float64) *Histogram {
 	return Default.Histogram(name, help, buckets)
 }
+
+// Labeled composes a metric name with one inline constant label,
+// quoting the value (Prometheus label values may contain anything):
+// Labeled("cluster_worker_jobs_total", "worker", addr). Callers with a
+// bounded label set use it with the get-or-create constructors to make
+// one series per label value.
+func Labeled(family, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", family, key, value)
+}
