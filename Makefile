@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath fastforwardtest benchbuild daemontest obstest clustertest benchdiff benchdiff-write baseline check bench benchquick report papercheck
+.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest benchdiff benchdiff-write baseline check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ fastpath:
 # the fast-forward both on and off (the differential runs both sides).
 fastforwardtest:
 	$(GO) test -race -run 'TestFastForwardDifferential|TestFastPathEquivalence' -count=1 ./prosim
+
+# The parallel-SM determinism gate: ticking SMs on a worker pool with
+# two-phase memsys commit must be byte-identical to serial ticking for
+# every registered scheduler, at every worker count, under the race
+# detector (which proves the staged phase has no cross-SM data races
+# even on a single-core host).
+smparalleltest:
+	$(GO) test -race -run 'TestParallelSM' -count=1 ./prosim
 
 # The bench harness must always compile (it is easy to break silently,
 # since plain `go test ./...` runs it but a refactor of the experiment
@@ -71,7 +79,7 @@ benchdiff-write:
 
 baseline: bench benchdiff-write
 
-check: vet race fastpath fastforwardtest daemontest obstest clustertest benchbuild
+check: vet race fastpath fastforwardtest smparalleltest daemontest obstest clustertest benchbuild
 	-$(MAKE) benchdiff
 
 # Statistically meaningful bench run for before/after comparisons:

@@ -19,6 +19,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/config"
@@ -307,6 +308,46 @@ func BenchmarkFutureWorkVariants(b *testing.B) {
 			}
 			b.ReportMetric(float64(cycles), "cycles")
 		})
+	}
+}
+
+func BenchmarkWideGPUParallelSM(b *testing.B) {
+	// Intra-simulation SM parallelism on wide GPUs (2x and 4x the
+	// GTX480's 14 SMs): serial ticking vs the staged two-phase parallel
+	// path. Results are bit-identical in every mode (pinned by
+	// TestParallelSMDifferential); this bench records the wall-clock
+	// effect. "parallel" resolves the worker count automatically
+	// (min(NumSMs, GOMAXPROCS) — on a single-core host it degenerates
+	// to serial), while "parallel4" forces 4 workers so the staging
+	// machinery is exercised even there; a real speedup needs spare
+	// cores.
+	w, err := workloads.ByKernel("calculate_temp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w = w.Shrunk(112) // two full residency rounds on the widest GPU
+	for _, sms := range []int{28, 56} {
+		for _, mode := range []string{"serial", "parallel", "parallel4"} {
+			b.Run(fmt.Sprintf("sms%d/%s", sms, mode), func(b *testing.B) {
+				cfg := prosim.GTX480()
+				cfg.NumSMs = sms
+				switch mode {
+				case "serial":
+					cfg.DisableSMParallel = true
+				case "parallel4":
+					cfg.ParallelSMs = 4
+				}
+				var simCycles int64
+				for i := 0; i < b.N; i++ {
+					r, err := prosim.Run(cfg, w.Launch, "PRO", prosim.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					simCycles += r.Cycles
+				}
+				b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+			})
+		}
 	}
 }
 

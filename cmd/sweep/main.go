@@ -65,6 +65,7 @@ func main() {
 	maxTBs := flag.Int("maxtbs", 0, "shrink grids (0 = full)")
 	quiet := flag.Bool("quiet", false, "suppress progress")
 	njobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+	smWorkers := flag.Int("sm-workers", 0, "SM-tick workers inside each simulation (0 = auto: spare cores per job; 1 = serial; results identical either way)")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	cacheGC := flag.String("cache-gc", "", "after the run, evict least-recently-used cache entries down to this size (e.g. 256M; needs -cache)")
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
@@ -108,6 +109,7 @@ func main() {
 			fatal(err)
 		}
 		client.Progress = progress
+		client.SMWorkers = *smWorkers
 		runner = client
 	} else if *workersFlag != "" {
 		var addrs []string
@@ -117,9 +119,10 @@ func main() {
 			}
 		}
 		coord, err := cluster.New(cluster.Config{
-			Workers:  addrs,
-			CacheDir: *cacheDir,
-			Log:      log,
+			Workers:   addrs,
+			CacheDir:  *cacheDir,
+			SMWorkers: *smWorkers,
+			Log:       log,
 		})
 		if err != nil {
 			fatal(err)
@@ -132,6 +135,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		eng.SMWorkers = *smWorkers
 		runner = eng
 	}
 

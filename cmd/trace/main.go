@@ -28,6 +28,7 @@ func main() {
 	every := flag.Int64("every", 1000, "sampling window in cycles")
 	maxTBs := flag.Int("maxtbs", 0, "shrink grid (0 = full)")
 	njobs := flag.Int("jobs", 1, "parallel simulation workers (a trace is one job)")
+	smWorkers := flag.Int("sm-workers", 0, "SM-tick workers inside the simulation (0 = auto: spare cores; 1 = serial; results identical either way)")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	eng.SMWorkers = *smWorkers
 	r, err := eng.RunOne(context.Background(), jobs.Job{
 		Launch:    w.Launch,
 		Kernel:    w.Kernel,

@@ -55,6 +55,12 @@ type Config struct {
 	// HealthFailLimit is how many consecutive failed health probes mark
 	// a worker down; <= 0 means 2.
 	HealthFailLimit int
+	// SMWorkers, when positive, is stamped onto every dispatched wire
+	// job as its intra-simulation SM tick worker count (see
+	// daemon.Client.SMWorkers); zero defers to each worker's own
+	// -sm-workers policy. Execution knob only — results and cache keys
+	// are unaffected.
+	SMWorkers int
 	// Log, when non-nil, receives worker-loss and retry events.
 	Log *slog.Logger
 }
@@ -155,10 +161,12 @@ func New(cfg Config) (*Coordinator, error) {
 		c.cache = cache
 	}
 	for id, addr := range cfg.Workers {
+		client := daemon.NewClient(addr)
+		client.SMWorkers = cfg.SMWorkers
 		w := &worker{
 			id:     id,
 			addr:   addr,
-			client: daemon.NewClient(addr),
+			client: client,
 			slots:  cfg.SlotsPerWorker,
 			mJobs:  obs.NewCounter(obs.Labeled("cluster_worker_jobs_total", "worker", addr), "job attempts dispatched to this worker"),
 			mQueue: obs.NewGauge(obs.Labeled("cluster_worker_queue_depth", "worker", addr), "jobs queued for this worker"),

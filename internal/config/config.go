@@ -148,6 +148,19 @@ type Config struct {
 	// DisableWarpPooling allocates fresh warp/thread-block objects on
 	// every TB assignment instead of recycling retired ones.
 	DisableWarpPooling bool `json:"-"`
+
+	// ParallelSMs selects how many worker goroutines tick SMs inside one
+	// simulation (two-phase commit: parallel SM ticks staging their
+	// memory-system and wheel side effects into per-SM lanes, then a
+	// serial drain in SM-ID order — see DESIGN.md, "Parallel SM
+	// ticking"). 0 picks min(NumSMs, GOMAXPROCS) automatically, 1 forces
+	// the serial loop, and N>1 uses exactly N workers regardless of core
+	// count. Like the Disable* switches it cannot change any observable
+	// result, so it is excluded from result-cache keys.
+	ParallelSMs int `json:"-"`
+	// DisableSMParallel forces the serial SM tick loop regardless of
+	// ParallelSMs (differential-testing kill switch).
+	DisableSMParallel bool `json:"-"`
 }
 
 // GTX480 returns the configuration from Table I of the paper.
@@ -247,6 +260,7 @@ func (c *Config) Validate() error {
 		{c.IFetchLatency >= 0, "IFetchLatency must be non-negative"},
 		{c.ICacheSize == 0 || (c.ICacheAssoc > 0 && c.ICacheLineInstrs > 0 && c.ICacheMissLatency > 0),
 			"enabled ICache needs positive assoc, line and miss latency"},
+		{c.ParallelSMs >= 0, "ParallelSMs must be non-negative"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

@@ -28,6 +28,12 @@ type Client struct {
 	// callback shape the local engine uses, so jobs.PrintProgress works
 	// unchanged. Calls arrive on Run's goroutine.
 	Progress func(jobs.Event)
+
+	// SMWorkers, when positive, is stamped onto every submitted wire job
+	// as its intra-simulation worker count (WireJob.SMWorkers); zero
+	// defers to the daemon's own policy. Execution knob only — it cannot
+	// change results or cache keys.
+	SMWorkers int
 }
 
 // TransportError reports a batch that failed between the client and a
@@ -131,6 +137,9 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 		wj, err := FromJob(&js[i])
 		if err != nil {
 			return nil, fmt.Errorf("daemon: job %d: %w", i, err)
+		}
+		if c.SMWorkers > 0 {
+			wj.SMWorkers = c.SMWorkers
 		}
 		req.Jobs[i] = wj
 	}

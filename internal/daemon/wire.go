@@ -41,6 +41,13 @@ type WireJob struct {
 	Options gpu.Options `json:"options"`
 	// Cost is the job's expected relative run time (informational).
 	Cost int64 `json:"cost,omitempty"`
+	// SMWorkers, when positive, asks the daemon to tick this job's SMs
+	// on that many workers (config.ParallelSMs). It is an execution
+	// knob, not part of the job's identity: the config field it sets is
+	// excluded from cache-key JSON, so a job submitted with any
+	// SMWorkers value keys identically to a local run. Zero defers to
+	// the daemon's own -sm-workers policy.
+	SMWorkers int `json:"smWorkers,omitempty"`
 }
 
 // Job converts the wire form into an executable job. Plain names pass
@@ -66,6 +73,23 @@ func (wj *WireJob) Job() (jobs.Job, error) {
 		j.Factory, j.FactoryKey = f, wj.Scheduler
 	} else {
 		j.Scheduler = wj.Scheduler
+	}
+	if wj.SMWorkers > 0 {
+		// Stamp the execution knob onto a copy of the config. Materializing
+		// the GTX480 default is key-neutral: the engine resolves a nil
+		// Config to the same value before hashing, and ParallelSMs itself
+		// is excluded from key JSON.
+		cfg := j.Config
+		if cfg == nil {
+			cfg = config.GTX480()
+		} else {
+			cc := *cfg
+			cfg = &cc
+		}
+		if cfg.ParallelSMs == 0 && !cfg.DisableSMParallel {
+			cfg.ParallelSMs = wj.SMWorkers
+			j.Config = cfg
+		}
 	}
 	return j, nil
 }

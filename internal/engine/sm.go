@@ -117,6 +117,14 @@ type SM struct {
 	// is bumped by every event that zeroes a warp's issue gate.
 	slotGates []slotGate
 	gateEpoch uint64
+
+	// lane, when non-nil, stages this Tick's shared side effects
+	// (memory-system transactions and timing-wheel schedules) instead of
+	// applying them, so multiple SMs can tick concurrently. Set only for
+	// the duration of TickStaged; every other entry point (AssignTB,
+	// wheel callbacks, StallTotal) runs on the coordinator goroutine
+	// with the lane unset and keeps direct wheel/memsys access.
+	lane *memsys.Lane
 }
 
 // slotGate caches the contiguous gated prefix of a scheduler slot's
@@ -274,7 +282,19 @@ func (sm *SM) scheduleFetch(w *Warp) {
 			delay += int64(sm.Cfg.ICacheMissLatency)
 		}
 	}
-	sm.Wheel.ScheduleAfter(delay, w.fetchDone)
+	sm.schedule(delay, w.fetchDone)
+}
+
+// schedule routes a wheel schedule through the staging lane when one is
+// active (TickStaged), and straight to the wheel otherwise. Every
+// ScheduleAfter reachable from Tick must go through this so concurrent
+// ticks never append to shared wheel buckets.
+func (sm *SM) schedule(delay int64, fn timing.Event) {
+	if sm.lane != nil {
+		sm.lane.ScheduleAfter(delay, fn)
+		return
+	}
+	sm.Wheel.ScheduleAfter(delay, fn)
 }
 
 // Done reports whether the SM has no resident TBs.
@@ -362,8 +382,29 @@ func (sm *SM) Tick(cycle int64) {
 	}
 }
 
+// TickStaged is Tick with every shared side effect staged into lane
+// instead of applied, so SMs can tick concurrently (one goroutine per
+// SM at most). It is safe because the tick's decisions read and write
+// only this SM's state: memory accept/refuse consults the per-SM L1 /
+// MSHR / store-buffer slices via the lane, PendingTBsFn reads a
+// coordinator variable that is stable between phases, and the pre-bound
+// callbacks that Tick can invoke synchronously (memOp doneFn resolving
+// on the final issued line, wakeEvent) touch their own SM only. The
+// caller must drain the lanes in SM-ID order afterwards, on one
+// goroutine, before anything else observes the wheel or memory system.
+func (sm *SM) TickStaged(cycle int64, lane *memsys.Lane) {
+	sm.lane = lane
+	sm.Tick(cycle)
+	sm.lane = nil
+}
+
 // neverWake marks a wake-up that only an explicit event can trigger.
 const neverWake = int64(math.MaxInt64)
+
+// NeverWake is neverWake for the clock loop's horizon tracking: a
+// sleeping SM reporting this wake cycle can only be woken by an
+// explicit event (wheel callback or TB assignment).
+const NeverWake = neverWake
 
 // trySleep puts the SM to sleep after a cycle on which every slot
 // stalled with Idle or Scoreboard and the LD/ST unit is empty. The frozen
@@ -465,6 +506,15 @@ func (sm *SM) NextEvent(now int64) (cycle int64, ok bool) {
 	return now + 1, true
 }
 
+// SleepState exposes the raw sleep fields for the clock loop's
+// incremental horizon tracking (the wake-heap mirror): asleep=false
+// means the SM must tick on the very next cycle; asleep=true with
+// wake==NeverWake means only an explicit event can wake it. Query it
+// after the SM's Tick for the current cycle, like NextEvent.
+func (sm *SM) SleepState() (asleep bool, wake int64) {
+	return sm.asleep, sm.wakeAt
+}
+
 // drainMemOp issues at most one transaction of the in-flight memory
 // instruction. The unit frees as soon as all transactions are issued; the
 // data return path is tracked by callbacks.
@@ -476,15 +526,15 @@ func (sm *SM) drainMemOp(cycle int64) {
 	line := op.lines[0]
 	switch op.kind {
 	case isa.OpStGlobal:
-		if !sm.Mem.StoreLine(sm.ID, line) {
+		if !sm.storeLine(line) {
 			return // store buffer full; retry next cycle
 		}
 	case isa.OpLdGlobal, isa.OpAtomGlobal:
 		var ok bool
 		if op.kind == isa.OpLdGlobal {
-			ok = sm.Mem.LoadLine(sm.ID, line, op.doneFn)
+			ok = sm.loadLine(line, op.doneFn)
 		} else {
-			ok = sm.Mem.AtomicLine(sm.ID, line, op.doneFn)
+			ok = sm.atomicLine(line, op.doneFn)
 		}
 		if !ok {
 			return // MSHRs full; retry next cycle
@@ -504,6 +554,32 @@ func (sm *SM) drainMemOp(cycle int64) {
 			sm.memOpLineDone(op, cycle)
 		}
 	}
+}
+
+// storeLine / loadLine / atomicLine route one memory transaction
+// through the staging lane when one is active, and straight to the
+// memory system otherwise. The accept/refuse answer is identical either
+// way (same decision core in memsys); only the shared side effects are
+// deferred.
+func (sm *SM) storeLine(line uint64) bool {
+	if sm.lane != nil {
+		return sm.lane.StoreLine(line)
+	}
+	return sm.Mem.StoreLine(sm.ID, line)
+}
+
+func (sm *SM) loadLine(line uint64, done func(int64)) bool {
+	if sm.lane != nil {
+		return sm.lane.LoadLine(line, done)
+	}
+	return sm.Mem.LoadLine(sm.ID, line, done)
+}
+
+func (sm *SM) atomicLine(line uint64, done func(int64)) bool {
+	if sm.lane != nil {
+		return sm.lane.AtomicLine(line, done)
+	}
+	return sm.Mem.AtomicLine(sm.ID, line, done)
 }
 
 // memOpLineDone resolves a load/atomic op when every transaction has
@@ -772,7 +848,7 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 	case isa.OpSFU:
 		w.setRegLatency(in.Dst, cycle, int64(sm.Cfg.SFULatency))
 		sm.sfuInflight++
-		sm.Wheel.ScheduleAfter(int64(sm.Cfg.SFULatency), sm.sfuDone)
+		sm.schedule(int64(sm.Cfg.SFULatency), sm.sfuDone)
 		sm.sfuToken = false
 
 	default: // SP arithmetic and control

@@ -6,6 +6,7 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/engine"
@@ -93,22 +94,71 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 	// every SM full, the per-cycle assignment step is skipped until the
 	// next retire instead of re-probing all SMs each cycle.
 	assignDirty := true
+	// handleRetire is the coordinator-side retire notification. Under
+	// parallel SM ticking it runs at the phase barrier (drained from the
+	// per-SM retire buffers in SM-ID order) instead of inside Tick, so
+	// concurrent SMs never touch assignDirty or the shared timeline.
+	handleRetire := func(tb *engine.ThreadBlock) {
+		assignDirty = true
+		if opts.Timeline {
+			res.Timeline = append(res.Timeline, stats.TBSpan{
+				TB: tb.Global, SM: tb.SMID, Slot: tb.LaunchSeq,
+				Start: tb.StartCycle, End: tb.EndCycle,
+			})
+		}
+	}
+
+	smWorkers := resolveSMWorkers(cfg)
+	par := smWorkers > 1
+
 	sms := make([]*engine.SM, cfg.NumSMs)
+	var retired [][]*engine.ThreadBlock
+	if par {
+		retired = make([][]*engine.ThreadBlock, cfg.NumSMs)
+	}
 	for i := range sms {
 		sm := engine.NewSM(i, cfg, wheel, mem, launch, factory)
 		sm.PendingTBsFn = func() int { return pending }
-		sm.OnTBRetireFn = func(tb *engine.ThreadBlock, cycle int64) {
-			assignDirty = true
-			if opts.Timeline {
-				res.Timeline = append(res.Timeline, stats.TBSpan{
-					TB: tb.Global, SM: tb.SMID, Slot: tb.LaunchSeq,
-					Start: tb.StartCycle, End: tb.EndCycle,
-				})
+		if par {
+			// Stage retires per SM. Buffering the TB pointer is safe:
+			// a retired TB's fields are stable until the pool can hand
+			// it out again, which first happens in the next iteration's
+			// assignment step — after this iteration's drain.
+			buf := &retired[i]
+			sm.OnTBRetireFn = func(tb *engine.ThreadBlock, cycle int64) {
+				*buf = append(*buf, tb)
+			}
+		} else {
+			sm.OnTBRetireFn = func(tb *engine.ThreadBlock, cycle int64) {
+				handleRetire(tb)
 			}
 		}
 		sms[i] = sm
 	}
 	res.Scheduler = sms[0].Sched.Name()
+
+	// drainRetires delivers staged retire notifications in SM-ID order
+	// — the order the serial loop's in-tick callbacks fire in.
+	drainRetires := func() {
+		for i := range retired {
+			for j, tb := range retired[i] {
+				handleRetire(tb)
+				retired[i][j] = nil
+			}
+			retired[i] = retired[i][:0]
+		}
+	}
+
+	var pool *smPool
+	var lanes []*memsys.Lane
+	if par {
+		lanes = make([]*memsys.Lane, cfg.NumSMs)
+		for i := range lanes {
+			lanes[i] = mem.NewLane(i)
+		}
+		pool = newSMPool(sms, lanes, smWorkers)
+		defer pool.close()
+	}
 
 	// Thread Block Scheduler: breadth-first round-robin assignment; after
 	// the initial fill, TBs go out one at a time as residency frees up
@@ -170,6 +220,36 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		lastSample.stalls = cur
 	}
 
+	// Incremental SM horizon tracking. Instead of rescanning every SM's
+	// NextEvent when computing the fast-forward jump (O(n) per
+	// iteration), the loop mirrors each SM's sleep state after its tick
+	// and folds changes into a lazy-deletion min-heap: an awake count
+	// answers "may anything tick next cycle?" in O(1), and the heap
+	// yields the earliest finite wake cycle in O(log n) per update. The
+	// mirror is refreshed after every tick phase, so an SM woken early
+	// by an event (wakeAt zeroed, full tick this cycle) is re-mirrored
+	// before the next horizon query and the heap never serves a stale
+	// earlier entry.
+	smAsleep := make([]bool, len(sms)) // all start awake
+	awake := len(sms)
+	wakeHeap := timing.NewWakeHeap(len(sms))
+	trackSM := func(i int, sm *engine.SM) {
+		asleep, wakeAt := sm.SleepState()
+		if asleep != smAsleep[i] {
+			smAsleep[i] = asleep
+			if asleep {
+				awake--
+			} else {
+				awake++
+			}
+		}
+		if !asleep || wakeAt == engine.NeverWake {
+			wakeHeap.Clear(i)
+		} else {
+			wakeHeap.Set(i, wakeAt)
+		}
+	}
+
 	// nextCycle computes where the clock goes after an iteration at now —
 	// the global fast-forward. Every cycle in (now, target) is provably a
 	// no-op: each component reports the earliest future cycle at which it
@@ -190,17 +270,18 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 			return now + 1
 		}
 		target := int64(1<<63 - 1)
-		for _, sm := range sms {
-			at, ok := sm.NextEvent(now)
-			if !ok {
-				continue
-			}
+		// The SM horizon, from the mirror: any awake SM ticks next
+		// cycle; otherwise the earliest finite wake cycle bounds the
+		// jump (sleepers at NeverWake are woken by other components'
+		// events, covered by their horizons below).
+		if awake > 0 {
+			return now + 1
+		}
+		if at, ok := wakeHeap.Min(); ok {
 			if at <= now+1 {
 				return now + 1
 			}
-			if at < target {
-				target = at
-			}
+			target = at
 		}
 		if at, ok := mem.NextEvent(now); ok {
 			if at <= now+1 {
@@ -245,8 +326,12 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 	hb := hbState.Load()
 	hbOn := hb != nil
 	var hbPrevCycle, hbIters, hbJumps, hbNext int64
+	var hbParTicks, hbTickNS, hbCommitNS, hbImbalNS int64
 	if hbOn {
 		hbNext = hb.every
+		if pool != nil {
+			pool.timed = true
+		}
 	}
 	emitHeartbeat := func(cycle int64, final bool) {
 		resident := 0
@@ -256,9 +341,13 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		hb.fn(Heartbeat{
 			Kernel: launch.Program.Name, Scheduler: res.Scheduler,
 			Cycle: cycle, ResidentTBs: resident, PendingTBs: pending,
-			Iters: hbIters, FFJumps: hbJumps, Final: final,
+			Iters: hbIters, FFJumps: hbJumps,
+			SMWorkers: smWorkers, ParTicks: hbParTicks,
+			TickNS: hbTickNS, CommitNS: hbCommitNS, ImbalanceNS: hbImbalNS,
+			Final: final,
 		})
 		hbIters, hbJumps = 0, 0
+		hbParTicks, hbTickNS, hbCommitNS, hbImbalNS = 0, 0, 0, 0
 	}
 
 	lastIssued := int64(-1)
@@ -278,17 +367,58 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		mem.Tick(cycle)
 		assign(cycle)
 		done := true
-		// The watchdog's issued sum is fused into the tick loop: an SM's
-		// WarpInstrs is final for this cycle once its own Tick returns
-		// (no cross-SM path mutates it), so the fused sum equals the
-		// post-loop sum the naive loop computed.
+		// The watchdog's issued sum is accumulated once all SM ticks for
+		// the cycle have completed: an SM's WarpInstrs is final for the
+		// cycle when its own Tick returns (no cross-SM path mutates it),
+		// so serial fusing and the post-barrier pass compute the same
+		// sum. trackSM in the same pass refreshes the sleep mirror and
+		// wake-heap used by nextCycle.
 		var issued int64
-		for _, sm := range sms {
-			sm.Tick(cycle)
-			if !sm.Done() {
-				done = false
+		if par && awake >= fanOutMin {
+			// Two-phase commit: parallel staged ticks, then a serial
+			// drain in SM-ID order that replays the shared side effects
+			// exactly as the serial loop would have interleaved them.
+			if pool.timed {
+				t0 := time.Now()
+				pool.tick(cycle)
+				t1 := time.Now()
+				for _, l := range lanes {
+					l.Drain()
+				}
+				drainRetires()
+				hbParTicks++
+				hbTickNS += t1.Sub(t0).Nanoseconds()
+				hbCommitNS += time.Since(t1).Nanoseconds()
+				hbImbalNS += pool.imbalance()
+			} else {
+				pool.tick(cycle)
+				for _, l := range lanes {
+					l.Drain()
+				}
+				drainRetires()
 			}
-			issued += sm.WarpInstrs
+			for i, sm := range sms {
+				if !sm.Done() {
+					done = false
+				}
+				issued += sm.WarpInstrs
+				trackSM(i, sm)
+			}
+		} else {
+			for i, sm := range sms {
+				sm.Tick(cycle)
+				if !sm.Done() {
+					done = false
+				}
+				issued += sm.WarpInstrs
+				trackSM(i, sm)
+			}
+			if par {
+				// The staged retire closure is wired whenever the pool
+				// exists, including iterations ticked serially below
+				// the fan-out threshold.
+				drainRetires()
+			}
 		}
 		if opts.SampleEvery > 0 && cycle%opts.SampleEvery == 0 {
 			sample(cycle)

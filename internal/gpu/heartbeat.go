@@ -23,6 +23,21 @@ type Heartbeat struct {
 	// §8.6). Deltas, so a listener can feed counters directly.
 	Iters   int64
 	FFJumps int64
+	// SMWorkers is the run's resolved intra-simulation worker count
+	// (1 = serial SM ticking; see config.ParallelSMs).
+	SMWorkers int
+	// ParTicks counts iterations since the previous heartbeat whose SM
+	// tick phase fanned out to the worker pool; TickNS and CommitNS are
+	// the wall nanoseconds those iterations spent in the parallel tick
+	// phase and the serial commit (lane + retire drain) phase, and
+	// ImbalanceNS accumulates each fanned iteration's slowest-minus-
+	// fastest worker shard time. All deltas; zero on serial runs. Phase
+	// timing is measured only while a listener is registered, so
+	// unobserved runs never call the clock.
+	ParTicks    int64
+	TickNS      int64
+	CommitNS    int64
+	ImbalanceNS int64
 	// Final marks the run-completion heartbeat.
 	Final bool
 }

@@ -1,0 +1,144 @@
+package gpu
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/memsys"
+)
+
+// resolveSMWorkers turns the config knobs into a concrete worker count
+// for one run. 1 means the serial tick loop; the choice can never
+// change results (the parallel path is bit-identical by construction —
+// see DESIGN.md, "Parallel SM ticking"), only wall-clock time.
+func resolveSMWorkers(cfg *config.Config) int {
+	if cfg.DisableSMParallel {
+		return 1
+	}
+	n := cfg.ParallelSMs
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > cfg.NumSMs {
+		n = cfg.NumSMs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fanOutMin is the minimum number of awake SMs for which an iteration
+// uses the worker pool; below it the coordinator ticks the (mostly
+// sleeping) array itself and skips two channel rendezvous per worker.
+// Purely a latency heuristic: both paths commit identical state, so the
+// threshold cannot affect results.
+const fanOutMin = 2
+
+// smPool is the persistent worker pool that runs phase 1 of the
+// two-phase commit: each worker owns a static interleaved shard of the
+// SM array (worker w ticks SMs w, w+nw, ...) and stages all shared side
+// effects into the per-SM lanes. The coordinator then drains the lanes
+// in SM-ID order (phase 2). Workers live for the whole run; a tick is
+// one start send and one done receive per worker.
+type smPool struct {
+	sms   []*engine.SM
+	lanes []*memsys.Lane
+	nw    int
+	start []chan int64
+	done  chan struct{}
+	fault chan any
+
+	// timed asks workers to clock their shard (heartbeat telemetry
+	// only). Written by the coordinator between ticks; the channel
+	// rendezvous orders it against worker reads.
+	timed   bool
+	shardNS []int64
+}
+
+func newSMPool(sms []*engine.SM, lanes []*memsys.Lane, nw int) *smPool {
+	p := &smPool{
+		sms:     sms,
+		lanes:   lanes,
+		nw:      nw,
+		start:   make([]chan int64, nw),
+		done:    make(chan struct{}, nw),
+		fault:   make(chan any, nw),
+		shardNS: make([]int64, nw),
+	}
+	for w := 0; w < nw; w++ {
+		p.start[w] = make(chan int64, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *smPool) worker(w int) {
+	for cycle := range p.start[w] {
+		p.tickShard(w, cycle)
+		p.done <- struct{}{}
+	}
+}
+
+// tickShard runs worker w's SMs for one cycle, converting a panic into
+// a fault report so the coordinator's barrier never deadlocks.
+func (p *smPool) tickShard(w int, cycle int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fault <- r
+		}
+	}()
+	var t0 time.Time
+	timed := p.timed
+	if timed {
+		t0 = time.Now()
+	}
+	for i := w; i < len(p.sms); i += p.nw {
+		p.sms[i].TickStaged(cycle, p.lanes[i])
+	}
+	if timed {
+		p.shardNS[w] = time.Since(t0).Nanoseconds()
+	}
+}
+
+// tick fans one cycle out to every worker and waits for all of them
+// (the phase barrier). A worker panic is re-raised here, on the
+// coordinator goroutine, after the barrier completes.
+func (p *smPool) tick(cycle int64) {
+	for _, ch := range p.start {
+		ch <- cycle
+	}
+	for range p.start {
+		<-p.done
+	}
+	select {
+	case r := <-p.fault:
+		panic(r)
+	default:
+	}
+}
+
+// imbalance returns the slowest-minus-fastest shard time of the last
+// timed tick.
+func (p *smPool) imbalance() int64 {
+	lo, hi := p.shardNS[0], p.shardNS[0]
+	for _, ns := range p.shardNS[1:] {
+		if ns < lo {
+			lo = ns
+		}
+		if ns > hi {
+			hi = ns
+		}
+	}
+	return hi - lo
+}
+
+// close shuts the workers down. RunContext only calls it with no tick
+// in flight (between iterations, or after a barrier re-panic unwound).
+func (p *smPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}

@@ -1,0 +1,118 @@
+package memsys
+
+import "repro/internal/timing"
+
+// Lane is one SM's staging buffer for the parallel-tick path. During a
+// parallel phase each SM issues its memory transactions through its own
+// Lane instead of the System directly: the accept/refuse decision runs
+// immediately (it reads and writes only that SM's slice of the
+// hierarchy — L1, L1 MSHRs, store-buffer count — so concurrent lanes
+// never touch the same state), while every shared side effect is
+// recorded as a laneOp. Draining the lanes in SM-ID order afterwards
+// replays those effects in exactly the order the serial loop would
+// have produced them: the serial loop ticks SMs in ID order, and
+// within one SM the lane preserves program order across effect kinds.
+// Timing-wheel bucket FIFO order, interconnect port state and carrier
+// pool order therefore end up bit-identical to a serial run.
+//
+// A Lane belongs to one SM and one goroutine at a time; Drain must run
+// on the coordinator goroutine after all concurrent ticks have joined.
+type Lane struct {
+	s   *System
+	sm  int
+	ops []laneOp
+}
+
+type laneKind uint8
+
+const (
+	laneSchedule laneKind = iota // wheel.ScheduleAfter(delay, fn)
+	laneReadFill                 // sendRead(sm, line, fillL1=true)
+	laneReadRaw                  // sendRead(sm, line, fillL1=false)
+	laneWrite                    // sendWrite(sm, line)
+)
+
+// laneOp is one staged shared side effect. One struct covers all kinds
+// so the buffer stays a flat reusable slice (no per-op allocation).
+type laneOp struct {
+	fn    timing.Event // laneSchedule only
+	line  uint64       // reads / writes
+	delay int64        // laneSchedule only
+	kind  laneKind
+}
+
+// laneSeed is the initial op capacity. An SM issues at most one global
+// memory transaction per cycle plus a handful of wheel schedules, so a
+// lane rarely holds more than a few ops per phase.
+const laneSeed = 8
+
+// NewLane returns a staging lane for SM sm.
+func (s *System) NewLane(sm int) *Lane {
+	return &Lane{s: s, sm: sm, ops: make([]laneOp, 0, laneSeed)}
+}
+
+// SM returns the owning SM's ID (lanes are drained in this order).
+func (l *Lane) SM() int { return l.sm }
+
+// Pending returns the number of staged, undrained effects.
+func (l *Lane) Pending() int { return len(l.ops) }
+
+// LoadLine is System.LoadLine with shared side effects staged.
+func (l *Lane) LoadLine(line uint64, done func(cycle int64)) bool {
+	return l.s.loadLine(l.sm, line, done, l)
+}
+
+// AtomicLine is System.AtomicLine with shared side effects staged.
+func (l *Lane) AtomicLine(line uint64, done func(cycle int64)) bool {
+	return l.s.atomicLine(l.sm, line, done, l)
+}
+
+// StoreLine is System.StoreLine with shared side effects staged.
+func (l *Lane) StoreLine(line uint64) bool {
+	return l.s.storeLine(l.sm, line, l)
+}
+
+// ScheduleAfter stages a timing-wheel schedule. The engine routes every
+// wheel schedule reachable from a concurrent SM.Tick (i-buffer refetch,
+// SFU completion) through this so the wheel's bucket append order stays
+// serial.
+func (l *Lane) ScheduleAfter(delay int64, fn timing.Event) {
+	l.ops = append(l.ops, laneOp{kind: laneSchedule, delay: delay, fn: fn})
+}
+
+func (l *Lane) schedule(delay int64, fn timing.Event) { l.ScheduleAfter(delay, fn) }
+
+func (l *Lane) read(sm int, line uint64, fillL1 bool) {
+	kind := laneReadRaw
+	if fillL1 {
+		kind = laneReadFill
+	}
+	l.ops = append(l.ops, laneOp{kind: kind, line: line})
+}
+
+func (l *Lane) write(sm int, line uint64) {
+	l.ops = append(l.ops, laneOp{kind: laneWrite, line: line})
+}
+
+// Drain applies the staged effects in staging order and empties the
+// lane. Carrier acquisition (getRead/getWrite) happens here, not at
+// staging time, so the shared free lists are only ever touched by the
+// coordinator goroutine — and pool pop order matches the serial loop's.
+func (l *Lane) Drain() {
+	s := l.s
+	for i := range l.ops {
+		op := &l.ops[i]
+		switch op.kind {
+		case laneSchedule:
+			s.wheel.ScheduleAfter(op.delay, op.fn)
+		case laneReadFill:
+			s.sendRead(l.sm, op.line, true)
+		case laneReadRaw:
+			s.sendRead(l.sm, op.line, false)
+		case laneWrite:
+			s.sendWrite(l.sm, op.line)
+		}
+		op.fn = nil // drop the callback reference until the slot is reused
+	}
+	l.ops = l.ops[:0]
+}

@@ -241,18 +241,41 @@ func (s *System) NextEvent(now int64) (cycle int64, ok bool) {
 	return cycle, ok
 }
 
+// effects is the sink for the shared side effects of one SM-facing
+// transaction. The accept/refuse decision of each entry point depends
+// only on per-SM state (l1[sm], l1mshr[sm], storesOut[sm]); everything
+// that touches shared structures — the timing wheel, the interconnect,
+// the pooled request carriers — goes through this interface. *System
+// applies them immediately (the serial path); *Lane records them for a
+// later in-order drain (the parallel SM-tick path). Keeping one
+// decision core for both guarantees the two modes accept exactly the
+// same transactions.
+type effects interface {
+	schedule(delay int64, fn timing.Event)
+	read(sm int, line uint64, fillL1 bool)
+	write(sm int, line uint64)
+}
+
+func (s *System) schedule(delay int64, fn timing.Event) { s.wheel.ScheduleAfter(delay, fn) }
+func (s *System) read(sm int, line uint64, fillL1 bool) { s.sendRead(sm, line, fillL1) }
+func (s *System) write(sm int, line uint64)             { s.sendWrite(sm, line) }
+
 // LoadLine issues one load transaction from SM sm for the line-aligned
 // address line. It returns false without side effects when the L1 MSHRs
 // cannot track the miss this cycle; when accepted, done fires once, at
 // the cycle the line's data is available in the SM.
 func (s *System) LoadLine(sm int, line uint64, done func(cycle int64)) bool {
+	return s.loadLine(sm, line, done, s)
+}
+
+func (s *System) loadLine(sm int, line uint64, done timing.Event, fx effects) bool {
 	if s.l1[sm].Access(line) {
-		s.wheel.ScheduleAfter(int64(s.cfg.L1HitLatency), done)
+		fx.schedule(int64(s.cfg.L1HitLatency), done)
 		return true
 	}
 	switch s.l1mshr[sm].Add(line, done) {
 	case cache.Allocated:
-		s.sendRead(sm, line, true)
+		fx.read(sm, line, true)
 		return true
 	case cache.Merged:
 		// The in-flight fill will wake us; no downstream traffic.
@@ -272,9 +295,13 @@ func (s *System) LoadLine(sm int, line uint64, done func(cycle int64)) bool {
 // the line behaves like an L1 miss whose response does not allocate in
 // L1. Tracking shares the L1 MSHR file, bounding outstanding requests.
 func (s *System) AtomicLine(sm int, line uint64, done func(cycle int64)) bool {
+	return s.atomicLine(sm, line, done, s)
+}
+
+func (s *System) atomicLine(sm int, line uint64, done timing.Event, fx effects) bool {
 	switch s.l1mshr[sm].Add(line, done) {
 	case cache.Allocated:
-		s.sendRead(sm, line, false)
+		fx.read(sm, line, false)
 		return true
 	case cache.Merged:
 		return true
@@ -290,12 +317,16 @@ func (s *System) AtomicLine(sm int, line uint64, done func(cycle int64)) bool {
 // per-SM store buffer bounds outstanding store lines; a full buffer
 // refuses the transaction (replay → pipeline stall).
 func (s *System) StoreLine(sm int, line uint64) bool {
+	return s.storeLine(sm, line, s)
+}
+
+func (s *System) storeLine(sm int, line uint64, fx effects) bool {
 	if s.storesOut[sm] >= s.cfg.StoreBufferPerSM {
 		return false
 	}
 	s.storesOut[sm]++
 	s.l1[sm].Invalidate(line)
-	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, s.getWrite(sm, line).start)
+	fx.write(sm, line)
 	return true
 }
 
@@ -303,6 +334,11 @@ func (s *System) StoreLine(sm int, line uint64) bool {
 // response should allocate in the SM's L1.
 func (s *System) sendRead(sm int, line uint64, fillL1 bool) {
 	s.net.Send(s.net.SMPort(sm), readReqBytes, s.getRead(sm, line, fillL1).start)
+}
+
+// sendWrite injects a line-sized store data packet.
+func (s *System) sendWrite(sm int, line uint64) {
+	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, s.getWrite(sm, line).start)
 }
 
 // l2Read handles a read request arriving at line's partition.

@@ -1,0 +1,81 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWakeHeapMatchesScan drives a WakeHeap with random Set/Clear
+// traffic against a plain-array reference: Min must always equal the
+// scan minimum over the armed sources.
+func TestWakeHeapMatchesScan(t *testing.T) {
+	const sources = 56
+	rng := rand.New(rand.NewSource(7))
+	h := NewWakeHeap(sources)
+	ref := make([]int64, sources)
+	scanMin := func() (int64, bool) {
+		var best int64
+		ok := false
+		for _, at := range ref {
+			if at != 0 && (!ok || at < best) {
+				best, ok = at, true
+			}
+		}
+		return best, ok
+	}
+	for step := 0; step < 20000; step++ {
+		id := rng.Intn(sources)
+		switch rng.Intn(4) {
+		case 0:
+			h.Clear(id)
+			ref[id] = 0
+		default:
+			// Mostly-increasing cycles with occasional early re-arms, the
+			// wake-pattern shape the clock loop produces.
+			at := int64(1 + rng.Intn(1<<14))
+			h.Set(id, at)
+			ref[id] = at
+		}
+		got, gotOK := h.Min()
+		want, wantOK := scanMin()
+		if gotOK != wantOK || (gotOK && got != want) {
+			t.Fatalf("step %d: Min() = %d,%v want %d,%v", step, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+// TestWakeHeapStaleBound forces the lazy-deletion worst case — one
+// source re-armed to ever-earlier cycles thousands of times without the
+// min ever advancing past it — and checks the compaction bound keeps
+// the heap from growing without limit.
+func TestWakeHeapStaleBound(t *testing.T) {
+	const sources = 14
+	h := NewWakeHeap(sources)
+	for i := 0; i < sources; i++ {
+		h.Set(i, 1<<20)
+	}
+	for at := int64(1 << 19); at > 1; at-- {
+		h.Set(0, at)
+	}
+	if got := len(h.entries); got > 4*sources+1 {
+		t.Fatalf("heap retained %d entries for %d sources; compaction did not engage", got, sources)
+	}
+	if at, ok := h.Min(); !ok || at != 2 {
+		t.Fatalf("Min() = %d,%v want 2,true", at, ok)
+	}
+}
+
+// TestWakeHeapSetSameCycleNoChurn asserts the unconditional-mirror
+// pattern (Set with an unchanged cycle every iteration) does not grow
+// the heap.
+func TestWakeHeapSetSameCycleNoChurn(t *testing.T) {
+	h := NewWakeHeap(4)
+	h.Set(2, 100)
+	before := len(h.entries)
+	for i := 0; i < 1000; i++ {
+		h.Set(2, 100)
+	}
+	if len(h.entries) != before {
+		t.Fatalf("repeated same-cycle Set grew the heap: %d -> %d entries", before, len(h.entries))
+	}
+}

@@ -23,6 +23,11 @@ type fastPaths struct {
 	disableCycleSkip   bool
 	disableFastForward bool
 	disableWarpPooling bool
+	disableSMParallel  bool
+	// parallelSMs pins the SM-tick worker count when parallelism is on,
+	// so the grid exercises real fan-out even on single-core CI hosts
+	// (auto mode would resolve to serial there).
+	parallelSMs int
 }
 
 // naivePaths disables every fast path — the reference implementation.
@@ -31,6 +36,7 @@ var naivePaths = fastPaths{
 	disableCycleSkip:   true,
 	disableFastForward: true,
 	disableWarpPooling: true,
+	disableSMParallel:  true,
 }
 
 // fastPathGrid simulates the differential grid with the given fast-path
@@ -59,6 +65,8 @@ func fastPathGrid(t *testing.T, fp fastPaths) []string {
 				cfg.DisableCycleSkip = fp.disableCycleSkip
 				cfg.DisableFastForward = fp.disableFastForward
 				cfg.DisableWarpPooling = fp.disableWarpPooling
+				cfg.DisableSMParallel = fp.disableSMParallel
+				cfg.ParallelSMs = fp.parallelSMs
 				r, err := prosim.Run(cfg, w.Launch, s, o)
 				if err != nil {
 					t.Fatalf("%s/%s: %v", k, s, err)
@@ -89,7 +97,10 @@ func TestFastPathEquivalence(t *testing.T) {
 		{"cycle-skip-only", each(func(fp *fastPaths) { fp.disableCycleSkip = false })},
 		{"fast-forward-only", each(func(fp *fastPaths) { fp.disableFastForward = false })},
 		{"warp-pooling-only", each(func(fp *fastPaths) { fp.disableWarpPooling = false })},
-		{"default-all-on", fastPaths{}},
+		{"sm-parallel-only", each(func(fp *fastPaths) { fp.disableSMParallel = false; fp.parallelSMs = 4 })},
+		// Everything on together, with fan-out forced so the two-phase
+		// commit composes with the other fast paths on any host.
+		{"default-all-on", fastPaths{parallelSMs: 4}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			got := fastPathGrid(t, tc.fp)

@@ -1,0 +1,96 @@
+package prosim_test
+
+// Differential gate for parallel SM ticking (`make smparalleltest`).
+// The two-phase commit — concurrent staged SM ticks, then a lane drain
+// in SM-ID order — must be invisible in every observable output for
+// every registered scheduler; these tests require byte-identical JSON
+// against the serial loop, and the chaos test shakes worker-count and
+// option combinations under -race (the scheduler pool plus the race
+// detector is also what catches any unstaged shared mutation).
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/schedreg"
+	"repro/prosim"
+)
+
+// runJSON simulates one configuration and returns the canonical JSON.
+func runJSON(t *testing.T, kernel, sched string, workers int, opts prosim.Options) string {
+	t.Helper()
+	w, err := prosim.WorkloadByKernel(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.Shrunk(8)
+	cfg := prosim.GTX480()
+	if workers <= 1 {
+		cfg.DisableSMParallel = true
+	} else {
+		// Explicit count: fan out even on single-core hosts, where auto
+		// mode would resolve to the serial loop.
+		cfg.ParallelSMs = workers
+	}
+	r, err := prosim.Run(cfg, w.Launch, sched, opts)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", kernel, sched, workers, err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestParallelSMDifferential sweeps every registered scheduler on two
+// kernels with different TB-churn and memory profiles: parallel ticking
+// with 4 workers must reproduce the serial results byte for byte —
+// including mid-run observations (samples, timelines), which see the
+// committed state at the exact same cycles.
+func TestParallelSMDifferential(t *testing.T) {
+	kernels := []string{"aesEncrypt128", "scalarProdGPU"}
+	opts := prosim.Options{Timeline: true, SampleEvery: 500}
+	for _, k := range kernels {
+		for _, s := range schedreg.All() {
+			k, s := k, s
+			t.Run(k+"/"+s, func(t *testing.T) {
+				t.Parallel()
+				serial := runJSON(t, k, s, 1, opts)
+				par := runJSON(t, k, s, 4, opts)
+				if par != serial {
+					t.Errorf("parallel SM ticking changed the result for %s/%s", k, s)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSMWorkerCountChaos varies the worker count — including
+// counts that do not divide the SM array, exceed it, and degenerate to
+// one SM per worker — on a scheduler with timed behaviour and one with
+// heavy barrier traffic. Every combination must match the serial run;
+// under -race this doubles as the data-race oracle for the staging
+// discipline.
+func TestParallelSMWorkerCountChaos(t *testing.T) {
+	cases := []struct {
+		kernel string
+		sched  string
+	}{
+		{"calculate_temp", "PRO-adaptive"},
+		{"scalarProdGPU", "PRO"},
+		{"aesEncrypt128", "GTO"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.kernel+"/"+c.sched, func(t *testing.T) {
+			t.Parallel()
+			serial := runJSON(t, c.kernel, c.sched, 1, prosim.Options{})
+			for _, workers := range []int{2, 3, 5, 14, 99} {
+				if got := runJSON(t, c.kernel, c.sched, workers, prosim.Options{}); got != serial {
+					t.Errorf("%s/%s: workers=%d diverged from serial", c.kernel, c.sched, workers)
+				}
+			}
+		})
+	}
+}
