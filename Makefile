@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest benchdiff benchdiff-write baseline check bench benchquick report papercheck
+.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest tenanttest benchdiff benchdiff-write baseline check bench benchquick report papercheck
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,14 @@ daemontest:
 obstest:
 	$(GO) test -race -count=1 -run 'TestMetricsEndpointServesPrometheus|TestTraceSpansCoverBatchLifecycle|TestDebugHandlerServesMetricsVarsAndPprof|TestHeartbeat' ./internal/daemon ./internal/obs ./internal/gpu
 
+# The multi-tenant surface under the race detector, re-run every time:
+# admission control (429/413 + Retry-After), tenant auth/rate/quota,
+# weighted priority dispatch, the tiered L1/L2 result cache (including
+# the two-daemons-share-an-L2 acceptance test) and the singleflight /
+# fan-out / socket-takeover regression tests.
+tenanttest:
+	$(GO) test -race -count=1 -run 'TestLeaderDisconnect|TestFullQueue|TestOversizeBatch|TestBulkFlood|TestTenant|TestLargeBatchBounded|TestTwoDaemonsSharedL2|TestStatsAndHealthReject|TestListenRefuses|TestClientSurfacesOverload|TestDispatcherWeighted|TestStatsWireCompat|TestTiered|TestStoreHandler' ./internal/daemon ./internal/resultcache
+
 # The sweep cluster under the race detector, re-run every time: the
 # acceptance test spins up three in-process daemons sharing a cache,
 # kills one mid-batch and asserts the assembled suite is byte-identical
@@ -79,7 +87,7 @@ benchdiff-write:
 
 baseline: bench benchdiff-write
 
-check: vet race fastpath fastforwardtest smparalleltest daemontest obstest clustertest benchbuild
+check: vet race fastpath fastforwardtest smparalleltest daemontest obstest clustertest tenanttest benchbuild
 	-$(MAKE) benchdiff
 
 # Statistically meaningful bench run for before/after comparisons:

@@ -18,6 +18,13 @@
 //	prosimd -trace-out jobs.ndjson               # job-lifecycle spans
 //	prosimd -log-level debug -log-json           # structured logs (stderr)
 //
+// Multi-tenant hardening (see DESIGN.md §13):
+//
+//	prosimd -queue-depth 512 -max-batch 256      # admission bounds (429 beyond)
+//	prosimd -tokens-file tenants.json            # named tenants with rate/quota limits
+//	prosimd -cache .simcache -serve-cache        # share the cache as an HTTP store
+//	prosimd -cache .l1 -cache-remote http://peer:9753/cache   # tier onto a peer's store
+//
 // Point the clients at it:
 //
 //	report -daemon 127.0.0.1:9753
@@ -53,6 +60,19 @@ func main() {
 		"serve /debug/pprof, /metrics and /debug/vars on this extra address (keep it loopback-only)")
 	traceOut := flag.String("trace-out", "",
 		"write one NDJSON job-lifecycle span per line to this file (\"-\" = stderr)")
+	queueDepth := flag.Int("queue-depth", 0,
+		fmt.Sprintf("pending jobs admitted per priority class before batches get 429 (0 = %d)", daemon.DefaultQueueDepth))
+	maxBatch := flag.Int("max-batch", 0, "max jobs in one batch request, 413 beyond it (0 = the queue depth)")
+	interactiveWeight := flag.Int("interactive-weight", 0,
+		fmt.Sprintf("consecutive interactive slot grants per bulk grant (0 = %d)", daemon.DefaultInteractiveWeight))
+	tokensFile := flag.String("tokens-file", "",
+		"JSON array of tenant configs ({token, name, ratePerSec, burst, maxInFlight}); absent = one open default tenant")
+	cacheRemote := flag.String("cache-remote", "",
+		"HTTP object store to tier the local cache onto (e.g. http://peer:9753/cache); requires -cache")
+	cacheRemoteTimeout := flag.Duration("cache-remote-timeout", 0,
+		"per-operation budget for the remote cache tier (0 = 250ms)")
+	serveCache := flag.Bool("serve-cache", false,
+		"serve the local result cache as an HTTP object store under /cache/ (peers point -cache-remote here)")
 	quiet := flag.Bool("quiet", false, "suppress lifecycle logging (same as -log-level error)")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
@@ -66,12 +86,26 @@ func main() {
 	}
 
 	cfg := daemon.Config{
-		Workers:      *njobs,
-		SMWorkers:    *smWorkers,
-		CacheDir:     *cacheDir,
-		JobTimeout:   *jobTimeout,
-		DrainTimeout: *drain,
-		Log:          log,
+		Workers:            *njobs,
+		SMWorkers:          *smWorkers,
+		CacheDir:           *cacheDir,
+		JobTimeout:         *jobTimeout,
+		DrainTimeout:       *drain,
+		QueueDepth:         *queueDepth,
+		MaxBatchJobs:       *maxBatch,
+		InteractiveWeight:  *interactiveWeight,
+		CacheRemote:        *cacheRemote,
+		CacheRemoteTimeout: *cacheRemoteTimeout,
+		ServeCache:         *serveCache,
+		Log:                log,
+	}
+	if *tokensFile != "" {
+		tenants, err := daemon.LoadTenants(*tokensFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Tenants = tenants
+		log.Info("tenants loaded", "file", *tokensFile, "tenants", len(tenants))
 	}
 	if *traceOut != "" {
 		tr, err := obs.OpenTrace(*traceOut)

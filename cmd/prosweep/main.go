@@ -46,6 +46,8 @@ func main() {
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
 	maxBackoff := flag.Duration("max-backoff", 5*time.Second, "retry-delay cap")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "worker health-check cadence")
+	priority := flag.String("priority", "bulk", "scheduling class on the workers: bulk yields slots to interactive clients")
+	token := flag.String("token", "", "tenant token sent as X-Prosim-Token to tokened workers")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
@@ -69,6 +71,8 @@ func main() {
 		BaseBackoff:    *backoff,
 		MaxBackoff:     *maxBackoff,
 		HealthInterval: *healthEvery,
+		Priority:       *priority,
+		Token:          *token,
 		Log:            log,
 	})
 	if err != nil {

@@ -59,6 +59,8 @@ func main() {
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
 	workersFlag := flag.String("workers", "", "fan simulations out across these comma-separated prosimd addresses (work-stealing coordinator; -cache is the shared merge cache)")
 	shardSpec := flag.String("shard", "", "run only slice i/n of the full job list (e.g. 2/3) against a shared cache and emit no artifacts")
+	priority := flag.String("priority", "interactive", "scheduling class on the daemon/workers (interactive report runs preempt bulk sweeps)")
+	token := flag.String("token", "", "tenant token sent as X-Prosim-Token to tokened daemons")
 	traceOut := flag.String("trace-out", "", "write NDJSON job-lifecycle spans to this file (\"-\" = stderr; local runs only)")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
@@ -99,6 +101,8 @@ func main() {
 		}
 		client.Progress = progress
 		client.SMWorkers = *smWorkers
+		client.Priority = *priority
+		client.Token = *token
 		run = client
 	} else if *workersFlag != "" {
 		var addrs []string
@@ -111,6 +115,8 @@ func main() {
 			Workers:   addrs,
 			CacheDir:  *cacheDir,
 			SMWorkers: *smWorkers,
+			Priority:  *priority,
+			Token:     *token,
 			Log:       log,
 		})
 		if err != nil {

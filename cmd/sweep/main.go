@@ -71,6 +71,8 @@ func main() {
 	daemonAddr := flag.String("daemon", "", "run simulations on a prosimd daemon at this address (host:port or unix:/path) instead of locally")
 	workersFlag := flag.String("workers", "", "fan simulations out across these comma-separated prosimd addresses (work-stealing coordinator; -cache is the shared merge cache)")
 	shardSpec := flag.String("shard", "", "run only slice i/n of the selected sweeps' points (e.g. 2/3) against a shared cache and print no tables")
+	priority := flag.String("priority", "bulk", "scheduling class on the daemon/workers: bulk yields slots to interactive clients")
+	token := flag.String("token", "", "tenant token sent as X-Prosim-Token to tokened daemons")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	logCfg := obs.LogFlags(nil)
@@ -110,6 +112,8 @@ func main() {
 		}
 		client.Progress = progress
 		client.SMWorkers = *smWorkers
+		client.Priority = *priority
+		client.Token = *token
 		runner = client
 	} else if *workersFlag != "" {
 		var addrs []string
@@ -122,6 +126,8 @@ func main() {
 			Workers:   addrs,
 			CacheDir:  *cacheDir,
 			SMWorkers: *smWorkers,
+			Priority:  *priority,
+			Token:     *token,
 			Log:       log,
 		})
 		if err != nil {

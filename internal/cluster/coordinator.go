@@ -61,6 +61,14 @@ type Config struct {
 	// -sm-workers policy. Execution knob only — results and cache keys
 	// are unaffected.
 	SMWorkers int
+	// Priority is the scheduling class every dispatched batch carries
+	// (daemon.PriorityInteractive or daemon.PriorityBulk); empty means
+	// the daemon default (interactive). Sweeps should run bulk so they
+	// yield worker slots to interactive lookups.
+	Priority string
+	// Token authenticates the coordinator to tokened workers
+	// (X-Prosim-Token on every request); empty means the default tenant.
+	Token string
 	// Log, when non-nil, receives worker-loss and retry events.
 	Log *slog.Logger
 }
@@ -163,6 +171,8 @@ func New(cfg Config) (*Coordinator, error) {
 	for id, addr := range cfg.Workers {
 		client := daemon.NewClient(addr)
 		client.SMWorkers = cfg.SMWorkers
+		client.Priority = cfg.Priority
+		client.Token = cfg.Token
 		w := &worker{
 			id:     id,
 			addr:   addr,
@@ -524,6 +534,15 @@ func (c *Coordinator) lane(ctx context.Context, st *runState, w *worker, js []jo
 			// failure. Nothing to retry.
 			return
 		}
+		var oe *daemon.OverloadedError
+		if errors.As(err, &oe) {
+			// The worker refused the batch at admission (429 rate/quota/
+			// queue or 503 draining): it is alive and shedding load, not
+			// lost. Retry after at least its Retry-After hint, on another
+			// replica when one exists, and keep this lane running.
+			c.requeue(ctx, st, i, keys[i], attempt, w, oe.RetryAfter, err)
+			continue
+		}
 		var te *daemon.TransportError
 		if !errors.As(err, &te) {
 			// The job ran and failed — deterministic, so retrying it on
@@ -543,7 +562,7 @@ func (c *Coordinator) lane(ctx context.Context, st *runState, w *worker, js []jo
 			st.cond.Broadcast()
 			st.mu.Unlock()
 		}
-		c.requeue(ctx, st, i, keys[i], attempt, w, err)
+		c.requeue(ctx, st, i, keys[i], attempt, w, 0, err)
 		if !timeout {
 			return
 		}
@@ -551,10 +570,11 @@ func (c *Coordinator) lane(ctx context.Context, st *runState, w *worker, js []jo
 }
 
 // requeue schedules a failed attempt's retry: after a capped
-// exponential backoff the job lands on the live worker with the
-// shortest queue (never the one that just failed it, when another
-// exists). Exhausted attempts fail the batch.
-func (c *Coordinator) requeue(ctx context.Context, st *runState, i int, key string, attempt int, failed *worker, cause error) {
+// exponential backoff (but at least minDelay — an overloaded worker's
+// Retry-After hint) the job lands on the live worker with the shortest
+// queue (never the one that just failed it, when another exists).
+// Exhausted attempts fail the batch.
+func (c *Coordinator) requeue(ctx context.Context, st *runState, i int, key string, attempt int, failed *worker, minDelay time.Duration, cause error) {
 	if attempt >= c.cfg.MaxAttempts {
 		st.fail(fmt.Errorf("cluster: job %d gave out after %d attempts: %w", i, attempt, cause))
 		return
@@ -562,6 +582,9 @@ func (c *Coordinator) requeue(ctx context.Context, st *runState, i int, key stri
 	delay := c.cfg.BaseBackoff << (attempt - 1)
 	if delay > c.cfg.MaxBackoff || delay <= 0 {
 		delay = c.cfg.MaxBackoff
+	}
+	if delay < minDelay {
+		delay = minDelay
 	}
 	c.retries.Add(1)
 	mRetries.Inc()

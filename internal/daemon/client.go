@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +35,31 @@ type Client struct {
 	// defers to the daemon's own policy. Execution knob only — it cannot
 	// change results or cache keys.
 	SMWorkers int
+
+	// Token authenticates the client to a tokened daemon: it is sent as
+	// X-Prosim-Token on every request. Empty means the default tenant.
+	Token string
+
+	// Priority is the batch-level scheduling class sent with every Run
+	// (PriorityInteractive or PriorityBulk). Empty means interactive.
+	Priority string
+}
+
+// OverloadedError reports a batch the daemon refused at admission —
+// 429 (rate limit, quota, full queue) or 503 (draining). Unlike a
+// TransportError the daemon is alive and answering: a coordinator
+// should back off and retry the same worker after RetryAfter rather
+// than mark it lost.
+type OverloadedError struct {
+	Addr       string
+	Status     int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("daemon: worker %s overloaded (HTTP %d, retry after %s): %s",
+		e.Addr, e.Status, e.RetryAfter, e.Msg)
 }
 
 // TransportError reports a batch that failed between the client and a
@@ -85,6 +111,23 @@ func shortKey(key string) string {
 	return key
 }
 
+// auth stamps the tenant token onto a request when the client has one.
+func (c *Client) auth(hreq *http.Request) {
+	if c.Token != "" {
+		hreq.Header.Set(TokenHeader, c.Token)
+	}
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form; a
+// missing or unparseable header yields a one-second default so retry
+// loops never spin hot.
+func parseRetryAfter(v string) time.Duration {
+	if sec, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && sec > 0 {
+		return time.Duration(sec) * time.Second
+	}
+	return time.Second
+}
+
 // NewClient builds a client for a daemon at addr — "unix:<path>" for a
 // unix socket, otherwise a TCP host:port (an explicit http:// base is
 // also accepted) — without probing it. Callers that tolerate a dead
@@ -132,7 +175,7 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 	if len(js) == 0 {
 		return nil, nil
 	}
-	req := BatchRequest{Jobs: make([]WireJob, len(js))}
+	req := BatchRequest{Jobs: make([]WireJob, len(js)), Priority: c.Priority}
 	for i := range js {
 		wj, err := FromJob(&js[i])
 		if err != nil {
@@ -152,6 +195,7 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.auth(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, c.transportErr(fmt.Errorf("submit: %w", err), js, nil)
@@ -159,6 +203,14 @@ func (c *Client) Run(ctx context.Context, js []jobs.Job) ([]*stats.KernelResult,
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			return nil, &OverloadedError{
+				Addr:       c.addr,
+				Status:     resp.StatusCode,
+				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+				Msg:        strings.TrimSpace(string(msg)),
+			}
+		}
 		return nil, fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 
@@ -222,6 +274,7 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.auth(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -247,6 +300,7 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.auth(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, &TransportError{Addr: c.addr, Err: fmt.Errorf("health: %w", err)}
@@ -287,6 +341,7 @@ func (c *Client) GC(ctx context.Context, size string) (GCStats, error) {
 		return GCStats{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.auth(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return GCStats{}, err

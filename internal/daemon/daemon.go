@@ -124,6 +124,33 @@ type Config struct {
 	// DrainTimeout bounds how long Shutdown waits for running batches
 	// before aborting their jobs; 0 means DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// QueueDepth bounds each priority class's admitted-but-not-running
+	// jobs; a batch that would overflow its class queue is rejected with
+	// 429 instead of absorbed. <= 0 means DefaultQueueDepth.
+	QueueDepth int
+	// MaxBatchJobs caps one batch request's job count (413 beyond it);
+	// <= 0 means the queue depth.
+	MaxBatchJobs int
+	// InteractiveWeight is the weighted round-robin ratio: that many
+	// consecutive interactive grants per bulk grant when both classes
+	// have waiters. <= 0 means DefaultInteractiveWeight.
+	InteractiveWeight int
+	// Tenants defines the named tenants (see LoadTenants); empty means
+	// an open daemon with one unlimited default tenant.
+	Tenants []TenantConfig
+	// CacheRemote, when non-empty, layers an HTTP L2 result store over
+	// the disk cache (which becomes the L1 and is then required): reads
+	// fall through to the remote store and writes replicate to it, with
+	// graceful degradation to L1-only when the remote misbehaves. The
+	// value is the exact URL prefix keys are appended to, e.g.
+	// "http://peer:9753/cache" for a peer prosimd with -serve-cache.
+	CacheRemote string
+	// CacheRemoteTimeout bounds one L2 operation; <= 0 means
+	// resultcache.DefaultRemoteTimeout.
+	CacheRemoteTimeout time.Duration
+	// ServeCache mounts the disk cache as an HTTP object store under
+	// /cache/, so peer daemons can use this one as their L2.
+	ServeCache bool
 	// Log, when non-nil, receives structured lifecycle events (batch
 	// accepted/finished, shutdown progress); nil logs nothing.
 	Log *slog.Logger
@@ -135,6 +162,17 @@ type Config struct {
 // DefaultDrainTimeout is the Shutdown drain bound when Config leaves it
 // zero.
 const DefaultDrainTimeout = 30 * time.Second
+
+// DefaultQueueDepth is the per-class pending-job bound when Config
+// leaves it zero: deep enough for the repo's sweep and report batches
+// (tens to a few hundred jobs), shallow enough that a runaway client
+// hits 429 long before the daemon's memory does.
+const DefaultQueueDepth = 1024
+
+// DefaultInteractiveWeight is the round-robin ratio when Config leaves
+// it zero: up to this many consecutive interactive grants before one
+// queued bulk job gets a slot.
+const DefaultInteractiveWeight = 8
 
 // flight is one in-flight keyed run: the leader fills res/err and
 // closes done; followers wait on done.
@@ -148,10 +186,12 @@ type flight struct {
 // Daemon is the simulation service. Create with New, serve with Serve
 // (or ServeUntilSignal), stop with Shutdown.
 type Daemon struct {
-	cfg Config
-	log *slog.Logger
-	eng *jobs.Engine
-	sem chan struct{}
+	cfg     Config
+	log     *slog.Logger
+	eng     *jobs.Engine
+	disp    *dispatcher
+	tenants *tenantTable
+	tiered  *resultcache.Tiered
 
 	// baseCtx parents every job execution; baseCancel aborts them all
 	// (the drain-timeout hammer).
@@ -164,6 +204,7 @@ type Daemon struct {
 	running  atomic.Int64
 	attached atomic.Int64
 	batches  atomic.Int64
+	rejected atomic.Int64
 	draining atomic.Bool
 	start    time.Time
 
@@ -178,6 +219,21 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxBatchJobs <= 0 {
+		cfg.MaxBatchJobs = cfg.QueueDepth
+	}
+	if cfg.InteractiveWeight <= 0 {
+		cfg.InteractiveWeight = DefaultInteractiveWeight
+	}
+	if cfg.CacheRemote != "" && cfg.CacheDir == "" {
+		return nil, fmt.Errorf("daemon: -cache-remote requires a local cache directory (the L1)")
+	}
+	if cfg.ServeCache && cfg.CacheDir == "" {
+		return nil, fmt.Errorf("daemon: -serve-cache requires a local cache directory")
+	}
 	eng, err := jobs.New(cfg.Workers, cfg.CacheDir, nil)
 	if err != nil {
 		return nil, err
@@ -188,13 +244,24 @@ func New(cfg Config) (*Daemon, error) {
 	if log == nil {
 		log = obs.Discard()
 	}
+	tenants, err := newTenantTable(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		log:      log,
 		eng:      eng,
-		sem:      make(chan struct{}, cfg.Workers),
+		disp:     newDispatcher(cfg.Workers, cfg.QueueDepth, cfg.InteractiveWeight),
+		tenants:  tenants,
 		inflight: make(map[string]*flight),
 		start:    time.Now(),
+	}
+	if cfg.CacheRemote != "" {
+		remote := resultcache.NewRemote(cfg.CacheRemote, cfg.CacheRemoteTimeout)
+		d.tiered = resultcache.NewTiered(eng.Cache, remote)
+		eng.Backend = d.tiered
+		log.Info("tiered result cache", "l1", cfg.CacheDir, "l2", remote.Base())
 	}
 	d.baseCtx, d.baseCancel = context.WithCancel(context.Background())
 	d.server = &http.Server{Handler: d.Handler()}
@@ -233,16 +300,30 @@ func (d *Daemon) Handler() http.Handler {
 	mux.Handle("/v1/health", httpMetrics("/v1/health", d.handleHealth))
 	mux.Handle("/v1/gc", httpMetrics("/v1/gc", d.handleGC))
 	mux.Handle("/metrics", obs.Default.Handler())
+	if d.cfg.ServeCache && d.eng.Cache != nil {
+		// The disk cache doubles as the cluster's shared object store:
+		// peer daemons point -cache-remote at this URL prefix.
+		mux.Handle("/cache/", http.StripPrefix("/cache/", resultcache.StoreHandler(d.eng.Cache)))
+	}
 	return mux
 }
 
 // Listen opens the daemon transport for addr: "unix:<path>" listens on
-// a unix socket (removing a stale socket file first — the daemon owns
-// its socket path), anything else is a TCP host:port.
+// a unix socket, anything else is a TCP host:port. A leftover socket
+// file is removed only after a connect probe fails — removing it
+// unconditionally would silently unbind a live daemon on the same
+// path, stranding it with no reachable socket.
 func Listen(addr string) (net.Listener, error) {
 	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return nil, fmt.Errorf("daemon: stale socket: %w", err)
+		if _, err := os.Stat(path); err == nil {
+			conn, err := net.DialTimeout("unix", path, 500*time.Millisecond)
+			if err == nil {
+				conn.Close()
+				return nil, fmt.Errorf("daemon: socket %s is in use by a live daemon", path)
+			}
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("daemon: stale socket: %w", err)
+			}
 		}
 		return net.Listen("unix", path)
 	}
@@ -308,24 +389,30 @@ func (d *Daemon) ServeUntilSignal(l net.Listener) error {
 }
 
 // runJob executes one job with singleflight dedupe: the first
-// submission of a key runs it (under the daemon's context, bounded by
-// JobTimeout), concurrent submissions of the same key attach and share
-// the outcome. waitCtx is the submitting request's context — it bounds
-// only this submission's wait, never the shared run.
-func (d *Daemon) runJob(waitCtx context.Context, j *jobs.Job) (r *stats.KernelResult, fromCache, deduped bool, err error) {
+// submission of a key becomes the leader and runs it, concurrent
+// submissions of the same key attach and share the outcome. waitCtx is
+// the submitting request's context — it bounds this submission's wait
+// but never the shared run: once a flight is registered, the leader's
+// slot wait and execution proceed under the daemon's own context, so a
+// leader whose client disconnects mid-queue cannot poison the result
+// its attached followers are waiting on.
+func (d *Daemon) runJob(waitCtx context.Context, j *jobs.Job, cl class) (r *stats.KernelResult, fromCache, deduped bool, err error) {
 	key, ok, err := d.eng.Key(j)
 	if err != nil {
+		d.disp.forfeit(cl)
 		return nil, false, false, err
 	}
 	if !ok {
-		// No stable identity — run without dedupe.
-		r, fromCache, err = d.execute(waitCtx, j)
+		// No stable identity — run without dedupe. Nobody can attach,
+		// so the submitter's context may bound the whole slot wait.
+		r, fromCache, err = d.execute(waitCtx, j, cl)
 		return r, fromCache, false, err
 	}
 
 	d.mu.Lock()
 	if f := d.inflight[key]; f != nil {
 		d.mu.Unlock()
+		d.disp.forfeit(cl) // the leader holds the queue position
 		d.attached.Add(1)
 		mAttached.Add(1)
 		defer func() {
@@ -350,7 +437,9 @@ func (d *Daemon) runJob(waitCtx context.Context, j *jobs.Job) (r *stats.KernelRe
 	d.inflight[key] = f
 	d.mu.Unlock()
 
-	f.res, f.fromCache, f.err = d.execute(waitCtx, j)
+	// Leader: from here on the run belongs to every attached follower,
+	// so it waits and executes under d.baseCtx, not waitCtx.
+	f.res, f.fromCache, f.err = d.execute(d.baseCtx, j, cl)
 	d.mu.Lock()
 	delete(d.inflight, key)
 	d.mu.Unlock()
@@ -361,16 +450,13 @@ func (d *Daemon) runJob(waitCtx context.Context, j *jobs.Job) (r *stats.KernelRe
 // execute waits for a worker slot and runs j through the engine. The
 // run itself is bound to the daemon's lifetime (plus JobTimeout), not
 // to the submitting request: followers may be attached to it. waitCtx
-// only bounds the slot wait.
-func (d *Daemon) execute(waitCtx context.Context, j *jobs.Job) (*stats.KernelResult, bool, error) {
-	select {
-	case d.sem <- struct{}{}:
-	case <-waitCtx.Done():
-		return nil, false, waitCtx.Err()
-	case <-d.baseCtx.Done():
-		return nil, false, fmt.Errorf("daemon: shutting down: %w", d.baseCtx.Err())
+// only bounds the slot wait (callers running on behalf of followers
+// pass d.baseCtx).
+func (d *Daemon) execute(waitCtx context.Context, j *jobs.Job, cl class) (*stats.KernelResult, bool, error) {
+	if err := d.disp.acquire(waitCtx, d.baseCtx, cl); err != nil {
+		return nil, false, err
 	}
-	defer func() { <-d.sem }()
+	defer d.disp.release()
 
 	d.running.Add(1)
 	mInflight.Add(1)
@@ -388,13 +474,82 @@ func (d *Daemon) execute(waitCtx context.Context, j *jobs.Job) (*stats.KernelRes
 	return d.eng.RunJob(ctx, j)
 }
 
+// reject refuses a batch before any job ran: it counts the rejection
+// (globally, by reason, and against the tenant when known), sets
+// Retry-After for retryable statuses, and writes the error body.
+func (d *Daemon) reject(w http.ResponseWriter, tn *tenant, code int, reason, msg string, retryAfter time.Duration) {
+	d.rejected.Add(1)
+	obs.NewCounter(
+		obs.Labeled("prosimd_rejected_total", "reason", reason),
+		"batch requests refused at admission, by reason").Inc()
+	if tn != nil {
+		tn.mRejected.Inc()
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+0.999)))
+	}
+	http.Error(w, msg, code)
+}
+
+// retryAfterHint estimates when a full class queue will have drained
+// enough to admit new work: pending jobs over worker slots, clamped to
+// a sane polling range.
+func (d *Daemon) retryAfterHint(cl class) time.Duration {
+	qi, qb := d.disp.depths()
+	pending := qi
+	if cl == classBulk {
+		pending = qb
+	}
+	sec := pending / d.cfg.Workers
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// submitPoolSize bounds a batch's submission goroutines. Submission
+// goroutines mostly park (on the dispatcher or an NDJSON emit), but a
+// goroutine per job still means a 100k-job batch costs gigabytes of
+// stacks; a small multiple of the worker count keeps every slot fed
+// with a bounded footprint.
+func (d *Daemon) submitPoolSize(n int) int {
+	pool := d.cfg.Workers * 4
+	if pool < 8 {
+		pool = 8
+	}
+	if pool > 64 {
+		pool = 64
+	}
+	if pool > n {
+		pool = n
+	}
+	return pool
+}
+
 // handleBatch streams a batch execution: one NDJSON job event per
 // completion (strictly increasing seq), then one batch line with the
 // results in job order. Individual job failures are reported per job
 // and do not abort the rest of the batch.
+//
+// Admission happens before the stream starts, in order: tenant
+// authentication (401), drain check (503), body and priority parsing
+// (400), batch-size cap (413), tenant rate limit and in-flight quota
+// (429), per-class queue capacity (429). Every 429 carries Retry-After.
 func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	tn, err := d.tenants.resolve(r.Header.Get(TokenHeader))
+	if err != nil {
+		d.reject(w, nil, http.StatusUnauthorized, "auth", err.Error(), 0)
+		return
+	}
+	if d.draining.Load() {
+		d.reject(w, tn, http.StatusServiceUnavailable, "draining", "daemon is draining", 2*time.Second)
 		return
 	}
 	var req BatchRequest
@@ -402,7 +557,19 @@ func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if len(req.Jobs) > d.cfg.MaxBatchJobs {
+		d.reject(w, tn, http.StatusRequestEntityTooLarge, "batch_size",
+			fmt.Sprintf("batch of %d jobs exceeds the %d-job cap; split it", len(req.Jobs), d.cfg.MaxBatchJobs), 0)
+		return
+	}
+	defCl, err := parseClass(req.Priority)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	js := make([]jobs.Job, len(req.Jobs))
+	cls := make([]class, len(req.Jobs))
+	var nByClass [numClasses]int
 	for i := range req.Jobs {
 		j, err := req.Jobs[i].Job()
 		if err != nil {
@@ -410,24 +577,65 @@ func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		js[i] = j
+		cls[i] = defCl
+		if p := req.Jobs[i].Priority; p != "" {
+			if cls[i], err = parseClass(p); err != nil {
+				http.Error(w, fmt.Sprintf("bad job %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+		}
+		nByClass[cls[i]]++
 	}
+
+	if ok, wait := tn.rl.take(len(js), time.Now()); !ok {
+		d.reject(w, tn, http.StatusTooManyRequests, "rate",
+			fmt.Sprintf("tenant %s over its rate limit", tn.name), wait)
+		return
+	}
+	if !tn.tryReserve(len(js)) {
+		d.reject(w, tn, http.StatusTooManyRequests, "quota",
+			fmt.Sprintf("tenant %s at its in-flight quota (%d)", tn.name, tn.maxInFlight), time.Second)
+		return
+	}
+	admitted := [numClasses]bool{}
+	for cl := class(0); cl < numClasses; cl++ {
+		if nByClass[cl] == 0 {
+			admitted[cl] = true
+			continue
+		}
+		if admitted[cl] = d.disp.admit(cl, nByClass[cl]); !admitted[cl] {
+			// Roll back whatever the earlier classes reserved.
+			for rb := class(0); rb < cl; rb++ {
+				for k := 0; k < nByClass[rb]; k++ {
+					d.disp.forfeit(rb)
+				}
+			}
+			tn.done(len(js))
+			d.reject(w, tn, http.StatusTooManyRequests, "queue",
+				fmt.Sprintf("%s queue is full (%d pending)", cl, d.cfg.QueueDepth), d.retryAfterHint(cl))
+			return
+		}
+	}
+	tn.mJobs.Add(int64(len(js)))
+
 	d.batches.Add(1)
 	mBatches.Inc()
-	d.log.Info("batch accepted", "jobs", len(js), "remote", r.RemoteAddr)
+	d.log.Info("batch accepted", "jobs", len(js), "tenant", tn.name, "remote", r.RemoteAddr)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
 	var (
-		emu     sync.Mutex
-		enc     = json.NewEncoder(w)
-		seq     int
-		hits    int
-		free    int // hits + deduped: jobs that cost this batch ~nothing
-		start   = time.Now()
-		results = make([]JobResult, len(js))
-		wg      sync.WaitGroup
+		emu        sync.Mutex
+		enc        = json.NewEncoder(w)
+		seq        int
+		hits       int
+		free       int // hits + deduped: jobs that cost this batch ~nothing
+		streamDead bool
+		start      = time.Now()
+		results    = make([]JobResult, len(js))
+		wg         sync.WaitGroup
 	)
 	emit := func(ev *Event) {
 		emu.Lock()
@@ -456,44 +664,74 @@ func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ev.EtaMS = (elapsed / time.Duration(pace) *
 				time.Duration(ev.Total-ev.Done)).Milliseconds()
 		}
-		enc.Encode(ev)
+		if streamDead {
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			// The client is gone; keep running (followers and the cache
+			// still want the results) but stop writing into the void.
+			streamDead = true
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 
-	for i := range js {
+	// A bounded submission pool instead of one goroutine per job: the
+	// admission queue bounds how much work may pend, the pool bounds
+	// how many goroutines carry it.
+	idx := make(chan int)
+	pool := d.submitPoolSize(len(js))
+	for p := 0; p < pool; p++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			res, fromCache, deduped, err := d.runJob(r.Context(), &js[i])
-			ev := Event{
-				Type:      "job",
-				Index:     i,
-				Kernel:    jobLabel(&js[i]),
-				Scheduler: schedLabel(&js[i]),
-				FromCache: fromCache,
-				Deduped:   deduped,
+			for i := range idx {
+				if err := r.Context().Err(); err != nil {
+					// Client gone before this job was submitted: drop its
+					// reservation instead of launching work nobody reads.
+					d.disp.forfeit(cls[i])
+					tn.done(1)
+					results[i] = JobResult{Err: "submission canceled: " + err.Error()}
+					continue
+				}
+				res, fromCache, deduped, err := d.runJob(r.Context(), &js[i], cls[i])
+				tn.done(1)
+				ev := Event{
+					Type:      "job",
+					Index:     i,
+					Kernel:    jobLabel(&js[i]),
+					Scheduler: schedLabel(&js[i]),
+					FromCache: fromCache,
+					Deduped:   deduped,
+				}
+				if err != nil {
+					ev.Err = err.Error()
+					results[i] = JobResult{Err: err.Error()}
+				} else {
+					results[i] = JobResult{Result: res}
+				}
+				emit(&ev)
 			}
-			if err != nil {
-				ev.Err = err.Error()
-				results[i] = JobResult{Err: err.Error()}
-			} else {
-				results[i] = JobResult{Result: res}
-			}
-			emit(&ev)
-		}(i)
+		}()
 	}
+	for i := range js {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	emu.Lock()
 	defer emu.Unlock()
-	enc.Encode(&Event{Type: "batch", Results: results})
-	if flusher != nil {
-		flusher.Flush()
+	if !streamDead {
+		enc.Encode(&Event{Type: "batch", Results: results})
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
 	d.log.Info("batch done",
-		"jobs", len(js), "cached", hits,
+		"jobs", len(js), "cached", hits, "tenant", tn.name,
 		"elapsed_sec", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
 }
 
@@ -509,12 +747,19 @@ func simCycles(r *stats.KernelResult) int64 {
 // tiny JSON body, "draining" once a shutdown began so pollers stop
 // assigning new work while in-flight jobs finish.
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	qi, qb := d.disp.depths()
 	h := Health{
-		Status:    "ok",
-		Draining:  d.draining.Load(),
-		InFlight:  d.running.Load(),
-		UptimeSec: time.Since(d.start).Seconds(),
-		Workers:   d.cfg.Workers,
+		Status:     "ok",
+		Draining:   d.draining.Load(),
+		InFlight:   d.running.Load(),
+		UptimeSec:  time.Since(d.start).Seconds(),
+		Workers:    d.cfg.Workers,
+		QueueDepth: qi + qb,
 	}
 	if h.Draining {
 		h.Status = "draining"
@@ -524,6 +769,11 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	st := Stats{
 		Completed: d.eng.Completed(),
 		Simulated: d.eng.Simulated(),
@@ -545,6 +795,15 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.CacheGCRuns = c.GCRuns()
 		st.CacheGCEvicted = c.GCEvicted()
 		st.CacheGCFreedBytes = c.GCFreed()
+	}
+	st.QueueInteractive, st.QueueBulk = d.disp.depths()
+	st.Rejected = d.rejected.Load()
+	st.Tenants = d.tenants.size()
+	if d.tiered != nil {
+		st.CacheRemote = d.cfg.CacheRemote
+		st.L2Hits = d.tiered.L2Hits()
+		st.L2Misses = d.tiered.L2Misses()
+		st.L2Degraded = d.tiered.Degraded()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)

@@ -1,0 +1,597 @@
+// Multi-tenant hardening tests: admission control (429 + Retry-After),
+// priority classes, tenant rate/quota enforcement, the tiered L1/L2
+// result cache across daemons, and the singleflight and fan-out
+// bugfixes that rode along.
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/jobs"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// slowJobSched is slowJob with a chosen scheduler, so tests can mint
+// several slow jobs with distinct cache identities.
+func slowJobSched(t *testing.T, sched string) jobs.Job {
+	t.Helper()
+	j := slowJob(t)
+	j.Scheduler = sched
+	return j
+}
+
+// quickJob is one fast job (well under a second even under the race
+// detector).
+func quickJob(t *testing.T, sched string) jobs.Job {
+	t.Helper()
+	w, err := workloads.ByKernel("aesEncrypt128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := jobs.Grid([]*workloads.Workload{w}, []string{sched}, 8, gpu.Options{})
+	if len(js) != 1 {
+		t.Fatalf("grid of one kernel and one scheduler built %d jobs", len(js))
+	}
+	return js[0]
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// batchBody marshals jobs into a BatchRequest body with a batch-level
+// priority.
+func batchBody(t *testing.T, js []jobs.Job, priority string) []byte {
+	t.Helper()
+	req := BatchRequest{Jobs: make([]WireJob, len(js)), Priority: priority}
+	for i := range js {
+		wj, err := FromJob(&js[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Jobs[i] = wj
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestLeaderDisconnectDuringSlotWaitDoesNotPoisonFollowers is the
+// regression test for the context-poisoning bug: a leader that
+// registered a flight but was still waiting for a worker slot used to
+// wait on its own request context, so its client disconnecting
+// resolved the shared flight with context.Canceled and every attached
+// follower received the leader's error instead of a result.
+func TestLeaderDisconnectDuringSlotWaitDoesNotPoisonFollowers(t *testing.T) {
+	d, _ := newTestDaemon(t, Config{Workers: 1})
+
+	// Occupy the only worker slot so the leader has to queue.
+	blocker := slowJobSched(t, "GTO")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.runJob(context.Background(), &blocker, classInteractive)
+	}()
+	waitFor(t, "blocker to hold the slot", func() bool { return d.running.Load() == 1 })
+
+	shared := slowJobSched(t, "PRO")
+	key, ok, err := d.eng.Key(&shared)
+	if err != nil || !ok {
+		t.Fatalf("shared job has no stable key: ok=%v err=%v", ok, err)
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := d.runJob(leaderCtx, &shared, classInteractive)
+		leaderErr <- err
+	}()
+	waitFor(t, "leader to register its flight", func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.inflight[key] != nil
+	})
+
+	var followerRes *stats.KernelResult
+	followerErr := make(chan error, 1)
+	go func() {
+		r, _, _, err := d.runJob(context.Background(), &shared, classInteractive)
+		followerRes = r
+		followerErr <- err
+	}()
+	waitFor(t, "follower to attach", func() bool { return d.attached.Load() == 1 })
+
+	// The leader's client walks away while the leader still queues for
+	// a slot. The flight must run to completion regardless.
+	cancelLeader()
+	if err := <-followerErr; err != nil {
+		t.Fatalf("leader's disconnect poisoned the attached follower: %v", err)
+	}
+	if followerRes == nil {
+		t.Fatal("follower completed without a result")
+	}
+	if err := <-leaderErr; err != nil {
+		// The leader itself also finishes: its run was already communal.
+		t.Fatalf("leader errored despite running under the daemon context: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestFullQueueFastFailsWith429: once a class's pending queue is full,
+// further batches are rejected immediately with 429 and a Retry-After
+// hint instead of being absorbed without bound.
+func TestFullQueueFastFailsWith429(t *testing.T) {
+	d, c := newTestDaemon(t, Config{Workers: 1, QueueDepth: 2})
+
+	var wg sync.WaitGroup
+	for _, s := range []string{"PRO", "GTO", "LRR"} {
+		j := slowJobSched(t, s)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Run(context.Background(), []jobs.Job{j})
+		}()
+	}
+	// One job running, two queued: the interactive queue is exactly full.
+	waitFor(t, "queue to fill", func() bool {
+		qi, _ := d.disp.depths()
+		return d.running.Load() == 1 && qi == 2
+	})
+
+	body := batchBody(t, []jobs.Job{slowJobSched(t, "TL")}, "")
+	resp, err := http.Post(c.base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch against a full queue: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response carries no Retry-After header")
+	}
+	if d.rejected.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+	wg.Wait()
+}
+
+// TestOversizeBatchRejectedWith413: the per-request job cap fails fast
+// before any conversion or admission work.
+func TestOversizeBatchRejectedWith413(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 1, MaxBatchJobs: 2})
+	js := []jobs.Job{quickJob(t, "LRR"), quickJob(t, "GTO"), quickJob(t, "TL")}
+	resp, err := http.Post(c.base+"/v1/batch", "application/json", bytes.NewReader(batchBody(t, js, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("3-job batch against a 2-job cap: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBulkFloodDoesNotStarveInteractive: with one worker slot fully
+// saturated by a bulk batch, a later interactive batch must still
+// complete (without any 5xx) while bulk work remains queued — the
+// weighted dispatcher grants the freed slot to the interactive class
+// first.
+func TestBulkFloodDoesNotStarveInteractive(t *testing.T) {
+	d, c := newTestDaemon(t, Config{Workers: 1})
+
+	bulkC := NewClient(c.Addr())
+	bulkC.Priority = PriorityBulk
+	bulkJobs := []jobs.Job{
+		slowJobSched(t, "PRO"), slowJobSched(t, "GTO"),
+		slowJobSched(t, "LRR"), slowJobSched(t, "TL"),
+	}
+	var bulkFinished atomic.Bool
+	bulkErr := make(chan error, 1)
+	go func() {
+		_, err := bulkC.Run(context.Background(), bulkJobs)
+		bulkFinished.Store(true)
+		bulkErr <- err
+	}()
+	waitFor(t, "bulk flood to saturate the daemon", func() bool {
+		_, qb := d.disp.depths()
+		return d.running.Load() == 1 && qb == len(bulkJobs)-1
+	})
+
+	ic := NewClient(c.Addr()) // empty Priority = interactive
+	rs, err := ic.Run(context.Background(), []jobs.Job{quickJob(t, "PRO")})
+	if err != nil {
+		t.Fatalf("interactive batch failed under bulk saturation: %v", err)
+	}
+	if len(rs) != 1 || rs[0] == nil {
+		t.Fatalf("interactive batch returned %d results", len(rs))
+	}
+	if bulkFinished.Load() {
+		t.Fatal("bulk flood drained before the interactive batch returned — the test exerted no contention")
+	}
+	if _, qb := d.disp.depths(); qb == 0 {
+		t.Fatal("no bulk work left queued when the interactive batch completed — priority was not exercised")
+	}
+	if err := <-bulkErr; err != nil {
+		t.Fatalf("bulk batch failed: %v", err)
+	}
+}
+
+// TestTenantQuotaAndUnknownToken: unknown tokens are 401 (and not
+// retryable), quota overruns are 429 OverloadedError, and untokened
+// requests still land on the default tenant.
+func TestTenantQuotaAndUnknownToken(t *testing.T) {
+	_, c := newTestDaemon(t, Config{
+		Workers: 2,
+		Tenants: []TenantConfig{{Token: "sekret", Name: "ci", MaxInFlight: 1}},
+	})
+
+	bad := NewClient(c.Addr())
+	bad.Token = "wrong"
+	_, err := bad.Run(context.Background(), []jobs.Job{quickJob(t, "LRR")})
+	if err == nil {
+		t.Fatal("unknown token accepted")
+	}
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		t.Fatalf("auth failure surfaced as retryable overload: %v", err)
+	}
+	if !strings.Contains(err.Error(), "401") {
+		t.Fatalf("unknown token error does not carry 401: %v", err)
+	}
+
+	ci := NewClient(c.Addr())
+	ci.Token = "sekret"
+	_, err = ci.Run(context.Background(), []jobs.Job{quickJob(t, "LRR"), quickJob(t, "GTO")})
+	if !errors.As(err, &oe) {
+		t.Fatalf("2-job batch against a 1-job quota: %v, want OverloadedError", err)
+	}
+	if oe.Status != http.StatusTooManyRequests || oe.RetryAfter <= 0 {
+		t.Fatalf("quota overload: status=%d retryAfter=%s", oe.Status, oe.RetryAfter)
+	}
+
+	if _, err := ci.Run(context.Background(), []jobs.Job{quickJob(t, "LRR")}); err != nil {
+		t.Fatalf("within-quota batch failed: %v", err)
+	}
+	if _, err := c.Run(context.Background(), []jobs.Job{quickJob(t, "TL")}); err != nil {
+		t.Fatalf("untokened batch against the default tenant failed: %v", err)
+	}
+}
+
+// TestTenantRateLimit: a tenant's token bucket refuses the batch that
+// overdraws it, with a Retry-After derived from the refill rate.
+func TestTenantRateLimit(t *testing.T) {
+	_, c := newTestDaemon(t, Config{
+		Workers: 2,
+		Tenants: []TenantConfig{{Token: "slow", Name: "drip", RatePerSec: 0.1, Burst: 1}},
+	})
+	drip := NewClient(c.Addr())
+	drip.Token = "slow"
+	if _, err := drip.Run(context.Background(), []jobs.Job{quickJob(t, "LRR")}); err != nil {
+		t.Fatalf("burst-sized batch refused: %v", err)
+	}
+	_, err := drip.Run(context.Background(), []jobs.Job{quickJob(t, "GTO")})
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("over-rate batch: %v, want OverloadedError", err)
+	}
+	if oe.RetryAfter < time.Second {
+		t.Fatalf("rate overload Retry-After %s, want >= 1s", oe.RetryAfter)
+	}
+}
+
+// TestLargeBatchBoundedGoroutines is the fan-out regression test: a
+// batch used to spawn one goroutine per job, so a 500-job batch meant
+// 500 concurrent stacks. The bounded submission pool must keep the
+// process's goroutine count flat while still finishing the batch (and,
+// with a cache, still simulating the deduped job exactly once).
+func TestLargeBatchBoundedGoroutines(t *testing.T) {
+	const n = 500
+	d, c := newTestDaemon(t, Config{Workers: 4, CacheDir: t.TempDir(), QueueDepth: 2 * n})
+	js := make([]jobs.Job, n)
+	for i := range js {
+		js[i] = quickJob(t, "PRO")
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		rs, err := c.Run(context.Background(), js)
+		if err == nil && len(rs) != n {
+			err = fmt.Errorf("got %d results for %d jobs", len(rs), n)
+		}
+		done <- err
+	}()
+	peak := 0
+	for {
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if peak > 300 {
+				t.Fatalf("peak goroutine count %d during a %d-job batch — fan-out is unbounded again", peak, n)
+			}
+			if got := d.Engine().Simulated(); got != 1 {
+				t.Fatalf("identical cached jobs simulated %d times, want 1", got)
+			}
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestTwoDaemonsSharedL2SimulateOnce is the tentpole's end-to-end
+// acceptance: daemon A serves its disk cache as an HTTP store, daemon
+// B tiers onto it, and an identical job submitted to both simulates
+// exactly once across the pair — B replays A's result through the L2,
+// byte-identically.
+func TestTwoDaemonsSharedL2SimulateOnce(t *testing.T) {
+	dA, cA := newTestDaemon(t, Config{Workers: 2, CacheDir: t.TempDir(), ServeCache: true})
+	dB, cB := newTestDaemon(t, Config{
+		Workers:            2,
+		CacheDir:           t.TempDir(),
+		CacheRemote:        cA.Addr() + "/cache",
+		CacheRemoteTimeout: 10 * time.Second, // CI latency must not degrade the tier
+	})
+
+	j := quickJob(t, "PRO")
+	rsA, err := cA.Run(context.Background(), []jobs.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsB, err := cB.Run(context.Background(), []jobs.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := dA.Engine().Simulated() + dB.Engine().Simulated(); got != 1 {
+		t.Fatalf("two daemons sharing an L2 simulated %d times, want exactly 1", got)
+	}
+	if got := dB.Engine().Replayed(); got != 1 {
+		t.Fatalf("daemon B replayed %d jobs, want 1 (the L2 read-through)", got)
+	}
+	a, _ := json.Marshal(rsA[0])
+	b, _ := json.Marshal(rsB[0])
+	if !bytes.Equal(a, b) {
+		t.Fatal("L2-replayed result differs from the original")
+	}
+	if got := dB.tiered.L2Hits(); got != 1 {
+		t.Fatalf("daemon B counted %d L2 hits, want 1", got)
+	}
+	// The promotion landed: B can now serve the entry without A.
+	if _, ok := dB.Engine().Cache.Get(mustKey(t, dB, &j)); !ok {
+		t.Fatal("L2 hit was not promoted into B's L1")
+	}
+	// And the stats endpoint advertises the tier.
+	st, err := cB.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheRemote == "" || st.L2Hits != 1 {
+		t.Fatalf("stats hide the L2 tier: remote=%q l2Hits=%d", st.CacheRemote, st.L2Hits)
+	}
+}
+
+func mustKey(t *testing.T, d *Daemon, j *jobs.Job) string {
+	t.Helper()
+	key, ok, err := d.eng.Key(j)
+	if err != nil || !ok {
+		t.Fatalf("job has no stable key: ok=%v err=%v", ok, err)
+	}
+	return key
+}
+
+// TestStatsAndHealthRejectWrites: the read-only endpoints must refuse
+// non-GET methods instead of silently executing them.
+func TestStatsAndHealthRejectWrites(t *testing.T) {
+	_, c := newTestDaemon(t, Config{Workers: 1})
+	for _, path := range []string{"/v1/stats", "/v1/health"} {
+		resp, err := http.Post(c.base+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestListenRefusesLiveSocketReclaimsStale is the socket-takeover
+// regression test: Listen used to os.Remove the socket path
+// unconditionally, silently unbinding a live daemon. Now a live socket
+// is an error and only a dead path is reclaimed.
+func TestListenRefusesLiveSocketReclaimsStale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.sock")
+	l, err := Listen("unix:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen("unix:" + path); err == nil {
+		t.Fatal("second Listen took over a live daemon's socket")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("live-socket error does not say so: %v", err)
+	}
+	l.Close()
+
+	// A stale leftover (no listener behind it) is reclaimed.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Listen("unix:" + path)
+	if err != nil {
+		t.Fatalf("Listen did not reclaim a stale socket path: %v", err)
+	}
+	l2.Close()
+}
+
+// TestClientSurfacesOverloadAsTypedError: 429/503 responses become
+// OverloadedError with the server's Retry-After — never a
+// TransportError, which would make a coordinator mark a healthy,
+// load-shedding worker as lost.
+func TestClientSurfacesOverloadAsTypedError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "interactive queue is full", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	_, err := c.Run(context.Background(), []jobs.Job{quickJob(t, "LRR")})
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("429 did not surface as OverloadedError: %v", err)
+	}
+	if oe.Status != http.StatusTooManyRequests || oe.RetryAfter != 7*time.Second {
+		t.Fatalf("overload mis-parsed: status=%d retryAfter=%s", oe.Status, oe.RetryAfter)
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		t.Fatal("overload also matches TransportError — the coordinator would mark the worker lost")
+	}
+}
+
+// TestDispatcherWeightedFairness exercises the dispatcher directly:
+// with both classes saturated, grants follow the configured
+// interactive:bulk ratio, and abandoned waiters are skipped.
+func TestDispatcherWeightedFairness(t *testing.T) {
+	disp := newTestDispatcherSaturated(t, 2)
+	var order []class
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	enqueue := func(cl class, k int) {
+		for i := 0; i < k; i++ {
+			disp.admit(cl, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := disp.acquire(context.Background(), context.Background(), cl); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, cl)
+				mu.Unlock()
+				disp.release()
+			}()
+		}
+	}
+	enqueue(classBulk, 4)
+	waitFor(t, "bulk waiters to park", func() bool {
+		disp.mu.Lock()
+		defer disp.mu.Unlock()
+		return len(disp.waiters[classBulk]) == 4
+	})
+	enqueue(classInteractive, 4)
+	waitFor(t, "interactive waiters to park", func() bool {
+		disp.mu.Lock()
+		defer disp.mu.Unlock()
+		return len(disp.waiters[classInteractive]) == 4
+	})
+
+	disp.release() // hand back the one held slot; grants cascade
+	wg.Wait()
+	// Weight 2: the first three grants must be interactive, interactive,
+	// bulk — bulk is delayed but never starved.
+	if len(order) != 8 {
+		t.Fatalf("served %d waiters, want 8", len(order))
+	}
+	want := []class{classInteractive, classInteractive, classBulk}
+	for i, cl := range want {
+		if order[i] != cl {
+			t.Fatalf("grant order %v, want prefix %v", order, want)
+		}
+	}
+}
+
+// newTestDispatcherSaturated builds a 1-slot dispatcher with the slot
+// already taken, so every subsequent acquire parks.
+func newTestDispatcherSaturated(t *testing.T, weight int) *dispatcher {
+	t.Helper()
+	disp := newDispatcher(1, 64, weight)
+	if err := disp.acquire(context.Background(), context.Background(), classInteractive); err != nil {
+		t.Fatal(err)
+	}
+	return disp
+}
+
+// TestStatsWireCompatMultiTenantFields extends the additive-fields
+// contract to the multi-tenant generation: modern payloads decode
+// fully, legacy payloads leave every new field zero.
+func TestStatsWireCompatMultiTenantFields(t *testing.T) {
+	modern := `{"completed":1,"workers":2,"queueInteractive":3,"queueBulk":4,
+		"rejected":5,"tenants":2,"cacheRemote":"http://peer:9753/cache",
+		"l2Hits":6,"l2Misses":7,"l2Degraded":8}`
+	var st Stats
+	if err := json.Unmarshal([]byte(modern), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueInteractive != 3 || st.QueueBulk != 4 || st.Rejected != 5 ||
+		st.Tenants != 2 || st.CacheRemote == "" || st.L2Hits != 6 ||
+		st.L2Misses != 7 || st.L2Degraded != 8 {
+		t.Fatalf("modern stats payload mangled: %+v", st)
+	}
+
+	legacy := `{"completed":7,"simulated":3,"workers":4}`
+	st = Stats{}
+	if err := json.Unmarshal([]byte(legacy), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueInteractive != 0 || st.QueueBulk != 0 || st.Rejected != 0 ||
+		st.Tenants != 0 || st.CacheRemote != "" || st.L2Hits != 0 {
+		t.Fatalf("legacy stats payload fabricated tenant fields: %+v", st)
+	}
+
+	var h Health
+	if err := json.Unmarshal([]byte(`{"status":"ok","workers":1,"queueDepth":9}`), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.QueueDepth != 9 {
+		t.Fatalf("health queueDepth mangled: %+v", h)
+	}
+	h = Health{}
+	if err := json.Unmarshal([]byte(`{"status":"ok","workers":1}`), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.QueueDepth != 0 {
+		t.Fatalf("legacy health payload fabricated queueDepth: %+v", h)
+	}
+
+	// A priority-less batch request (old client) decodes to the empty
+	// string, which parses as interactive — the legacy behaviour.
+	var br BatchRequest
+	if err := json.Unmarshal([]byte(`{"jobs":[]}`), &br); err != nil {
+		t.Fatal(err)
+	}
+	if cl, err := parseClass(br.Priority); err != nil || cl != classInteractive {
+		t.Fatalf("legacy batch priority parsed as %v (%v), want interactive", cl, err)
+	}
+}

@@ -1,0 +1,217 @@
+// Tenancy for the daemon: named clients identified by a bearer token,
+// each with its own rate limit and in-flight quota, so one runaway
+// client on a shared daemon cannot consume another's capacity.
+//
+// Tenants come from a JSON file (-tokens-file); a daemon started
+// without one runs open, with every request landing on the default
+// tenant. Requests carry the token in the X-Prosim-Token header; an
+// empty token maps to the default tenant (so legacy clients keep
+// working against a tokened daemon), an unknown token is rejected.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TokenHeader carries the tenant token on every daemon request.
+const TokenHeader = "X-Prosim-Token"
+
+// DefaultTenant names the tenant that untokened requests land on.
+const DefaultTenant = "default"
+
+// TenantConfig is one entry of a -tokens-file: a JSON array of these.
+type TenantConfig struct {
+	// Token is the secret presented in X-Prosim-Token. Empty defines
+	// the default tenant's limits (untokened requests).
+	Token string `json:"token"`
+	// Name labels the tenant in metrics and logs; it must be unique.
+	// Empty with an empty token means the default tenant.
+	Name string `json:"name"`
+	// RatePerSec caps job submissions per second (token bucket);
+	// 0 means unlimited.
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	// Burst is the bucket depth — how many jobs may land at once after
+	// idle time; 0 with a positive rate defaults to the rate (1s worth)
+	// and at least 1.
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps this tenant's admitted-but-unfinished jobs;
+	// 0 means unlimited.
+	MaxInFlight int `json:"maxInFlight,omitempty"`
+}
+
+// bucket is a token-bucket rate limiter. Unlimited when rate == 0.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take attempts to draw n tokens. On refusal it reports how long until
+// the bucket could satisfy the draw (the Retry-After hint), at least
+// one second.
+func (b *bucket) take(n int, now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+	}
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// tenant is one resolved tenant with its live accounting.
+type tenant struct {
+	name        string
+	maxInFlight int
+	rl          *bucket
+
+	inflight atomic.Int64
+
+	mJobs     *obs.Counter
+	mRejected *obs.Counter
+	mInflight *obs.Gauge
+}
+
+func newTenant(tc TenantConfig) *tenant {
+	name := tc.Name
+	if name == "" {
+		name = DefaultTenant
+	}
+	burst := float64(tc.Burst)
+	if tc.RatePerSec > 0 && burst <= 0 {
+		burst = tc.RatePerSec
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tenant{
+		name:        name,
+		maxInFlight: tc.MaxInFlight,
+		rl:          &bucket{rate: tc.RatePerSec, burst: burst, tokens: burst},
+		mJobs: obs.NewCounter(
+			obs.Labeled("prosimd_tenant_jobs_total", "tenant", name),
+			"jobs admitted, by tenant"),
+		mRejected: obs.NewCounter(
+			obs.Labeled("prosimd_tenant_rejected_total", "tenant", name),
+			"batch rejections (rate, quota, queue), by tenant"),
+		mInflight: obs.NewGauge(
+			obs.Labeled("prosimd_tenant_inflight", "tenant", name),
+			"admitted-but-unfinished jobs, by tenant"),
+	}
+}
+
+// tryReserve charges n jobs against the in-flight quota, all or
+// nothing. Each reserved unit must be returned by one done() call.
+func (t *tenant) tryReserve(n int) bool {
+	for {
+		cur := t.inflight.Load()
+		if t.maxInFlight > 0 && cur+int64(n) > int64(t.maxInFlight) {
+			return false
+		}
+		if t.inflight.CompareAndSwap(cur, cur+int64(n)) {
+			t.mInflight.Add(int64(n))
+			return true
+		}
+	}
+}
+
+// done returns n quota units after the jobs finished (or were never
+// submitted).
+func (t *tenant) done(n int) {
+	t.inflight.Add(int64(-n))
+	t.mInflight.Add(int64(-n))
+}
+
+// tenantTable resolves tokens to tenants.
+type tenantTable struct {
+	byToken map[string]*tenant
+	def     *tenant
+}
+
+// newTenantTable builds the table; entries with an empty token
+// override the default tenant's limits. A nil/empty entries slice
+// yields an open table: every token resolves to an unlimited default
+// tenant.
+func newTenantTable(entries []TenantConfig) (*tenantTable, error) {
+	tt := &tenantTable{byToken: make(map[string]*tenant)}
+	names := make(map[string]bool)
+	for _, tc := range entries {
+		t := newTenant(tc)
+		if names[t.name] {
+			return nil, fmt.Errorf("daemon: duplicate tenant name %q", t.name)
+		}
+		names[t.name] = true
+		if tc.Token == "" {
+			if tt.def != nil {
+				return nil, fmt.Errorf("daemon: multiple default tenants (empty token)")
+			}
+			tt.def = t
+			continue
+		}
+		if _, dup := tt.byToken[tc.Token]; dup {
+			return nil, fmt.Errorf("daemon: duplicate tenant token")
+		}
+		tt.byToken[tc.Token] = t
+	}
+	if tt.def == nil {
+		tt.def = newTenant(TenantConfig{})
+	}
+	return tt, nil
+}
+
+// resolve maps a request token to its tenant. An unknown non-empty
+// token is an authentication failure; empty means the default tenant.
+func (tt *tenantTable) resolve(token string) (*tenant, error) {
+	if token == "" {
+		return tt.def, nil
+	}
+	if t, ok := tt.byToken[token]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("daemon: unknown tenant token")
+}
+
+// size reports how many tenants the table defines (default included).
+func (tt *tenantTable) size() int { return len(tt.byToken) + 1 }
+
+// LoadTenants reads a -tokens-file: a JSON array of TenantConfig.
+func LoadTenants(path string) ([]TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: tokens file: %w", err)
+	}
+	var entries []TenantConfig
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("daemon: tokens file %s: %w", path, err)
+	}
+	for i, tc := range entries {
+		if tc.Token == "" && tc.Name != "" && tc.Name != DefaultTenant {
+			return nil, fmt.Errorf("daemon: tokens file %s entry %d: empty token must be the default tenant", path, i)
+		}
+	}
+	return entries, nil
+}

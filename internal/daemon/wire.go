@@ -48,7 +48,21 @@ type WireJob struct {
 	// SMWorkers value keys identically to a local run. Zero defers to
 	// the daemon's own -sm-workers policy.
 	SMWorkers int `json:"smWorkers,omitempty"`
+	// Priority is this job's scheduling class (PriorityInteractive or
+	// PriorityBulk), overriding the batch-level default. Like SMWorkers
+	// it is an execution knob, not identity: it never reaches the cache
+	// key. Empty defers to the batch (and ultimately to interactive).
+	Priority string `json:"priority,omitempty"`
 }
+
+// Priority classes a wire job or batch may carry. Interactive work
+// (paper tables, report reruns, a human at a terminal) is granted
+// worker slots ahead of bulk work (sweeps) at a configured ratio, so a
+// saturating sweep cannot starve a quick look at one result.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBulk        = "bulk"
+)
 
 // Job converts the wire form into an executable job. Plain names pass
 // through as Job.Scheduler; parameterized specs resolve to a factory
@@ -122,6 +136,11 @@ func FromJob(j *jobs.Job) (WireJob, error) {
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
 	Jobs []WireJob `json:"jobs"`
+	// Priority is the default class for every job of the batch; a job's
+	// own Priority overrides it. Empty means interactive (additive
+	// field: batches from older clients predate priority classes and
+	// were interactive tools).
+	Priority string `json:"priority,omitempty"`
 }
 
 // Event is one NDJSON line of a batch response. Type "job" reports one
@@ -201,6 +220,23 @@ type Stats struct {
 	// Draining is true once a shutdown began (additive; older daemons
 	// omit it and older clients ignore it — absent decodes as false).
 	Draining bool `json:"draining,omitempty"`
+	// Multi-tenant admission telemetry (additive). QueueInteractive and
+	// QueueBulk are the per-class admitted-but-not-running job counts;
+	// Rejected counts batch requests refused at admission (rate, quota,
+	// full queue, auth, size) since start; Tenants is the number of
+	// configured tenants, the unnamed default included.
+	QueueInteractive int   `json:"queueInteractive,omitempty"`
+	QueueBulk        int   `json:"queueBulk,omitempty"`
+	Rejected         int64 `json:"rejected,omitempty"`
+	Tenants          int   `json:"tenants,omitempty"`
+	// Tiered-cache telemetry (additive; all zero unless the daemon runs
+	// with -cache-remote). CacheRemote is the L2 store URL; L2Hits and
+	// L2Misses count read-throughs; L2Degraded counts operations that
+	// fell back to L1-only service because the remote misbehaved.
+	CacheRemote string `json:"cacheRemote,omitempty"`
+	L2Hits      int64  `json:"l2Hits,omitempty"`
+	L2Misses    int64  `json:"l2Misses,omitempty"`
+	L2Degraded  int64  `json:"l2Degraded,omitempty"`
 }
 
 // Health is the body of GET /v1/health — the lightweight liveness probe
@@ -219,6 +255,10 @@ type Health struct {
 	UptimeSec float64 `json:"uptimeSec"`
 	// Workers is the worker-slot count.
 	Workers int `json:"workers"`
+	// QueueDepth is the total admitted-but-not-running job count across
+	// both priority classes (additive; a loaded daemon advertises its
+	// backlog so pollers can prefer an idle replica).
+	QueueDepth int `json:"queueDepth,omitempty"`
 }
 
 // GCRequest is the body of POST /v1/gc: evict least-recently-used cache

@@ -160,6 +160,13 @@ type Engine struct {
 	SMWorkers int
 	// Cache, when non-nil, memoizes results on disk.
 	Cache *resultcache.Cache
+	// Backend, when non-nil, overrides Cache as the store job execution
+	// reads and writes — typically a resultcache.Tiered built with Cache
+	// as its L1, so a fleet of engines shares one remote warm tier.
+	// Cache stays the handle for keys, stats and GC (the local tier owns
+	// those); Backend only changes where results are looked up and
+	// stored. Nil means Cache alone.
+	Backend resultcache.Backend
 	// OnProgress, when non-nil, is called after every job completion.
 	// Calls are serialized; keep the callback fast.
 	OnProgress func(Event)
@@ -424,7 +431,8 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 		return nil, false, err
 	}
 
-	cacheable := e.Cache != nil && schedID != ""
+	store := e.store()
+	cacheable := store != nil && schedID != ""
 	if cacheable || (e.Trace != nil && schedID != "") {
 		desc := cacheKey{Config: cfg, Launch: j.Launch, Scheduler: schedID, Options: j.Options}
 		if e.Cache != nil {
@@ -438,7 +446,7 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 	}
 	e.Trace.Emit(obs.Span{Event: "submit", Key: key, Kernel: j.label(), Sched: j.schedLabel()})
 	if cacheable {
-		if cached, ok := e.Cache.Get(key); ok {
+		if cached, ok := store.Get(key); ok {
 			return cached, true, nil
 		}
 	}
@@ -462,11 +470,23 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 		return nil, false, err
 	}
 	if cacheable {
-		if err := e.Cache.Put(key, r); err != nil {
+		if err := store.Put(key, r); err != nil {
 			return nil, false, err
 		}
 	}
 	return r, false, nil
+}
+
+// store resolves the result store job execution uses: the explicit
+// Backend when set, otherwise the plain disk cache, otherwise nothing.
+func (e *Engine) store() resultcache.Backend {
+	if e.Backend != nil {
+		return e.Backend
+	}
+	if e.Cache != nil {
+		return e.Cache
+	}
+	return nil
 }
 
 // smWorkers resolves the Engine.SMWorkers policy to a concrete

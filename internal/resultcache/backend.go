@@ -1,0 +1,46 @@
+// Tiered result storage. The disk Cache is the canonical L1; Backend
+// abstracts its Get/Put surface so an HTTP object store can sit behind
+// it as a shared L2 (see Remote and Tiered). Everything above this
+// package — the job engine, the daemon, the cluster — keys results the
+// same way regardless of how many tiers serve them, because the key is
+// a content hash of the simulation inputs and the envelope re-checks
+// schema and key at every tier boundary.
+package resultcache
+
+import "repro/internal/stats"
+
+// Backend is the get/put surface of a result store. Get reports a miss
+// — absent, unreadable, corrupt, wrong schema, or remote failure — as
+// (nil, false), never as an error: the caller recomputes. Put stores a
+// result under its content key; implementations define how persistent
+// that is.
+//
+// *Cache (disk L1), *Remote (HTTP L2) and *Tiered (L1 over L2) all
+// implement it.
+type Backend interface {
+	Get(key string) (*stats.KernelResult, bool)
+	Put(key string, r *stats.KernelResult) error
+}
+
+var (
+	_ Backend = (*Cache)(nil)
+	_ Backend = (*Remote)(nil)
+	_ Backend = (*Tiered)(nil)
+)
+
+// validKey reports whether key looks like a resultcache content key —
+// a lowercase sha256 hex digest. The HTTP store uses it to keep
+// arbitrary request paths from ever touching the filesystem, and the
+// remote client uses it to refuse keys that would not round-trip.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

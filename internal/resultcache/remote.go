@@ -1,0 +1,178 @@
+// Remote is the HTTP object-store client: the L2 of a tiered result
+// cache. The store is any server speaking the trivial protocol of
+// StoreHandler — GET /<key> returns the envelope JSON, PUT /<key>
+// stores it — which in practice is another prosimd started with
+// -serve-cache, so one replica's disk becomes the cluster's shared
+// warm tier.
+//
+// The client is deliberately paranoid about latency: every operation
+// carries a short timeout (DefaultRemoteTimeout unless configured) and
+// every failure — connect, timeout, non-2xx, corrupt envelope — is a
+// cache miss or a returned error, never a stall. The caller (Tiered)
+// degrades to L1-only service on such failures.
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Process-wide L2 telemetry. The tier distinction matters
+// operationally: an L2 miss is normal (cold shared store), an L2 error
+// means the remote is unreachable or slow and the tier is degraded.
+var (
+	mL2Hits   = obs.NewCounter("resultcache_l2_hits_total", "remote-tier Gets that returned a result")
+	mL2Misses = obs.NewCounter("resultcache_l2_misses_total", "remote-tier Gets that found nothing (clean miss)")
+	mL2Errors = obs.NewCounter("resultcache_l2_errors_total", "remote-tier operations that failed (timeout, transport, bad envelope)")
+)
+
+// DefaultRemoteTimeout bounds one remote cache operation. The L2 sits
+// on the simulation hot path only as a read-through before a
+// multi-second simulation, so the budget is milliseconds: a slow
+// remote must cost less than the work it might save.
+const DefaultRemoteTimeout = 250 * time.Millisecond
+
+// Remote is an HTTP L2 result store client. All methods are safe for
+// concurrent use.
+type Remote struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	version int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	errs   atomic.Int64
+}
+
+// NewRemote builds a client for the object store at base — the exact
+// URL prefix keys are appended to, e.g. "http://127.0.0.1:9753/cache"
+// for a prosimd running -serve-cache (a bare host:port gets http://
+// prefixed). timeout <= 0 means DefaultRemoteTimeout.
+func NewRemote(base string, timeout time.Duration) *Remote {
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	return &Remote{
+		base:    base,
+		hc:      &http.Client{},
+		timeout: timeout,
+		version: SchemaVersion,
+	}
+}
+
+// Base returns the store URL the client was built with.
+func (r *Remote) Base() string { return r.base }
+
+// Errors returns the number of failed remote operations since NewRemote.
+func (r *Remote) Errors() int64 { return r.errs.Load() }
+
+func (r *Remote) url(key string) string { return r.base + "/" + key }
+
+// Get fetches key from the remote store. Any failure — bad key,
+// timeout, non-200, corrupt or wrong-schema envelope — is a miss.
+func (r *Remote) Get(key string) (*stats.KernelResult, bool) {
+	if !validKey(key) {
+		r.misses.Add(1)
+		mL2Misses.Inc()
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url(key), nil)
+	if err != nil {
+		r.fail()
+		return nil, false
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.fail()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		r.misses.Add(1)
+		mL2Misses.Inc()
+		return nil, false
+	default:
+		r.fail()
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelopeBytes))
+	if err != nil {
+		r.fail()
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil ||
+		env.Schema != r.version || env.Key != key || env.Result == nil {
+		// The remote answered but with garbage (or a different schema
+		// generation): treat as an error, not a clean miss, so the
+		// degradation metrics surface it.
+		r.fail()
+		return nil, false
+	}
+	r.hits.Add(1)
+	mL2Hits.Inc()
+	return env.Result, true
+}
+
+// Put stores a result under key on the remote store. Unlike Get it
+// returns the failure — the tiering layer decides whether a failed L2
+// write degrades the tier or fails the operation (Tiered degrades).
+func (r *Remote) Put(key string, res *stats.KernelResult) error {
+	if !validKey(key) {
+		return fmt.Errorf("resultcache: remote put: invalid key %q", key)
+	}
+	data, err := json.Marshal(envelope{Schema: r.version, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("resultcache: remote put: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.url(key), bytes.NewReader(data))
+	if err != nil {
+		r.fail()
+		return fmt.Errorf("resultcache: remote put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.fail()
+		return fmt.Errorf("resultcache: remote put: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		r.fail()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("resultcache: remote put: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+func (r *Remote) fail() {
+	r.errs.Add(1)
+	mL2Errors.Inc()
+}
+
+// maxEnvelopeBytes bounds one stored result on the wire. A
+// KernelResult with full per-TB timelines marshals to well under a
+// megabyte; 64 MiB leaves three orders of magnitude of headroom while
+// still bounding a misbehaving server's response.
+const maxEnvelopeBytes = 64 << 20

@@ -140,6 +140,10 @@ func (c *Cache) Get(key string) (*stats.KernelResult, bool) {
 	return env.Result, true
 }
 
+// errBadEnvelope rejects store PUTs whose body is not a valid envelope
+// for the requested key at this cache's schema version.
+var errBadEnvelope = fmt.Errorf("resultcache: body is not a valid result envelope for this key and schema")
+
 // Put stores a result under key, atomically replacing any previous
 // entry.
 func (c *Cache) Put(key string, r *stats.KernelResult) error {
@@ -147,6 +151,13 @@ func (c *Cache) Put(key string, r *stats.KernelResult) error {
 	if err != nil {
 		return fmt.Errorf("resultcache: encoding result: %w", err)
 	}
+	return c.writeEntry(key, data)
+}
+
+// writeEntry lands pre-encoded envelope bytes under key through a temp
+// file plus rename, so concurrent writers never expose a half-written
+// entry. Shared by Put and the HTTP store's putRaw.
+func (c *Cache) writeEntry(key string, data []byte) error {
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("resultcache: %w", err)

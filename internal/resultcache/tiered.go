@@ -1,0 +1,92 @@
+package resultcache
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// mL2Degraded counts operations served L1-only because the remote tier
+// failed — the "is my shared cache actually shared right now" signal.
+var mL2Degraded = obs.NewCounter("resultcache_l2_degraded_total", "tiered-cache operations that fell back to L1-only because the remote tier failed")
+
+// Tiered layers a shared remote store (L2) behind the local disk cache
+// (L1):
+//
+//   - Get is read-through: an L1 hit never touches the network; an L1
+//     miss consults L2 and, on a hit, promotes the entry into L1 so the
+//     next read is local.
+//   - Put is write-through: the result lands in L1 first (the local
+//     disk is the correctness-critical copy), then in L2 best-effort.
+//
+// The L2 is strictly an accelerator: every L2 failure — unreachable
+// store, timeout, corrupt envelope — degrades the operation to exactly
+// what a plain Cache would have done, counted in
+// resultcache_l2_degraded_total. Coherence needs no invalidation
+// protocol because entries are content-addressed and immutable: a key
+// fully determines its value, so the worst staleness failure mode is a
+// redundant simulation, never a wrong result.
+type Tiered struct {
+	l1 *Cache
+	l2 Backend
+
+	l2Hits   atomic.Int64
+	l2Misses atomic.Int64
+	degraded atomic.Int64
+}
+
+// NewTiered builds a tiered store over l1 (required) and l2 (required;
+// callers without a remote should use the Cache directly).
+func NewTiered(l1 *Cache, l2 Backend) *Tiered {
+	return &Tiered{l1: l1, l2: l2}
+}
+
+// L1 returns the local disk tier (stats, GC and Key live there).
+func (t *Tiered) L1() *Cache { return t.l1 }
+
+// L2Hits returns how many Gets were served by the remote tier.
+func (t *Tiered) L2Hits() int64 { return t.l2Hits.Load() }
+
+// L2Misses returns how many L1-missing Gets also missed remotely.
+func (t *Tiered) L2Misses() int64 { return t.l2Misses.Load() }
+
+// Degraded returns how many operations fell back to L1-only service.
+func (t *Tiered) Degraded() int64 { return t.degraded.Load() }
+
+// Get implements Backend with read-through promotion.
+func (t *Tiered) Get(key string) (*stats.KernelResult, bool) {
+	if r, ok := t.l1.Get(key); ok {
+		return r, true
+	}
+	r, ok := t.l2.Get(key)
+	if !ok {
+		t.l2Misses.Add(1)
+		return nil, false
+	}
+	t.l2Hits.Add(1)
+	// Promote into L1 so later reads stay local. A failed promotion
+	// (disk full) degrades silently: the result itself is still good.
+	if err := t.l1.Put(key, r); err != nil {
+		t.degrade()
+	}
+	return r, true
+}
+
+// Put implements Backend with write-through. An L1 failure is the
+// caller's problem (local disk is the canonical tier); an L2 failure
+// only degrades the shared tier.
+func (t *Tiered) Put(key string, r *stats.KernelResult) error {
+	if err := t.l1.Put(key, r); err != nil {
+		return err
+	}
+	if err := t.l2.Put(key, r); err != nil {
+		t.degrade()
+	}
+	return nil
+}
+
+func (t *Tiered) degrade() {
+	t.degraded.Add(1)
+	mL2Degraded.Inc()
+}

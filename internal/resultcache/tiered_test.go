@@ -1,0 +1,198 @@
+package resultcache
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// testResult builds a distinguishable fake result; the tier never
+// inspects it beyond JSON round-tripping.
+func testResult(cycles int64) *stats.KernelResult {
+	return &stats.KernelResult{Kernel: "fake", Scheduler: "PRO", Cycles: cycles}
+}
+
+// testKey derives a valid content key for tests.
+func testKey(t *testing.T, seed any) string {
+	t.Helper()
+	key, err := Key(SchemaVersion, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// storeServer serves dir as an HTTP object store, returning the
+// backing cache and the server.
+func storeServer(t *testing.T) (*Cache, *httptest.Server) {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(StoreHandler(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func newTestTiered(t *testing.T, remoteURL string) (*Tiered, *Cache) {
+	t.Helper()
+	l1, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous timeout: these tests assert tier behaviour, not remote
+	// latency budgets, and a loaded CI host must not turn a hit into a
+	// degradation.
+	return NewTiered(l1, NewRemote(remoteURL, 5*time.Second)), l1
+}
+
+func TestTieredWriteThrough(t *testing.T) {
+	store, srv := storeServer(t)
+	tiered, l1 := newTestTiered(t, srv.URL)
+	key, want := testKey(t, "write-through"), testResult(111)
+
+	if err := tiered.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := l1.Get(key); !ok || r.Cycles != want.Cycles {
+		t.Fatalf("L1 after write-through: ok=%v r=%+v", ok, r)
+	}
+	if r, ok := store.Get(key); !ok || r.Cycles != want.Cycles {
+		t.Fatalf("remote store after write-through: ok=%v r=%+v", ok, r)
+	}
+	if got := tiered.Degraded(); got != 0 {
+		t.Fatalf("healthy write-through degraded %d times", got)
+	}
+}
+
+func TestTieredReadThroughPromotesIntoL1(t *testing.T) {
+	store, srv := storeServer(t)
+	tiered, l1 := newTestTiered(t, srv.URL)
+	key, want := testKey(t, "read-through"), testResult(222)
+
+	// Seed only the remote store — a peer daemon's write-through.
+	if err := store.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tiered.Get(key)
+	if !ok || r.Cycles != want.Cycles {
+		t.Fatalf("tiered Get missed a remote-only entry: ok=%v r=%+v", ok, r)
+	}
+	if got := tiered.L2Hits(); got != 1 {
+		t.Fatalf("L2Hits = %d, want 1", got)
+	}
+	// The hit must have been promoted: a direct L1 read now succeeds.
+	if _, ok := l1.Get(key); !ok {
+		t.Fatal("remote hit was not promoted into L1")
+	}
+	// And the next tiered read is served locally (no new L2 hit).
+	if _, ok := tiered.Get(key); !ok {
+		t.Fatal("promoted entry missing on re-read")
+	}
+	if got := tiered.L2Hits(); got != 1 {
+		t.Fatalf("second read went remote: L2Hits = %d, want 1", got)
+	}
+}
+
+func TestTieredMissIsCleanWhenBothTiersCold(t *testing.T) {
+	_, srv := storeServer(t)
+	tiered, _ := newTestTiered(t, srv.URL)
+	if _, ok := tiered.Get(testKey(t, "absent")); ok {
+		t.Fatal("Get of an absent key hit")
+	}
+	if got := tiered.L2Misses(); got != 1 {
+		t.Fatalf("L2Misses = %d, want 1", got)
+	}
+	if got := tiered.Degraded(); got != 0 {
+		t.Fatalf("clean double miss counted as degraded (%d)", got)
+	}
+}
+
+func TestTieredDegradesToL1WhenRemoteIsDown(t *testing.T) {
+	_, srv := storeServer(t)
+	srv.Close() // the remote is gone before the tier ever reaches it
+	tiered, l1 := newTestTiered(t, srv.URL)
+	key, want := testKey(t, "degraded"), testResult(333)
+
+	// Writes must still land in L1 and report success.
+	if err := tiered.Put(key, want); err != nil {
+		t.Fatalf("Put with remote down: %v", err)
+	}
+	if _, ok := l1.Get(key); !ok {
+		t.Fatal("Put with remote down lost the L1 copy")
+	}
+	if got := tiered.Degraded(); got != 1 {
+		t.Fatalf("Degraded = %d after failed L2 write, want 1", got)
+	}
+	// Reads of L1-resident entries never notice the outage...
+	if r, ok := tiered.Get(key); !ok || r.Cycles != want.Cycles {
+		t.Fatalf("L1 hit with remote down: ok=%v r=%+v", ok, r)
+	}
+	// ...and reads that would have gone remote miss cleanly instead of
+	// erroring or hanging.
+	if _, ok := tiered.Get(testKey(t, "degraded-miss")); ok {
+		t.Fatal("Get with remote down fabricated a hit")
+	}
+}
+
+func TestStoreHandlerRejectsBadKeysAndMethods(t *testing.T) {
+	_, srv := storeServer(t)
+	for path, want := range map[string]int{
+		"/not-a-key":                  http.StatusBadRequest,
+		"/../../etc/passwd":           http.StatusBadRequest,
+		"/" + strings.Repeat("a", 64): http.StatusNotFound, // valid shape, absent
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	key := testKey(t, "method-check")
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/"+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStoreHandlerRejectsCorruptEnvelopes(t *testing.T) {
+	store, srv := storeServer(t)
+	key := testKey(t, "corrupt-put")
+	for _, body := range []string{
+		"{not json",
+		`{"schema":999,"key":"` + key + `","result":{"cycles":1}}`,                   // wrong schema
+		`{"schema":2,"key":"` + strings.Repeat("b", 64) + `","result":{"cycles":1}}`, // wrong key
+	} {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/"+key, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			t.Errorf("PUT of corrupt envelope %q accepted", body)
+		}
+	}
+	if _, ok := store.Get(key); ok {
+		t.Fatal("corrupt PUT landed in the store")
+	}
+}
