@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest tenanttest benchdiff benchdiff-write baseline check bench benchquick report papercheck
+.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest tenanttest benchdiff benchdiff-write baseline check bench benchquick profile report papercheck
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,15 @@ bench:
 # Quick bench pass (one iteration per benchmark, no allocation stats).
 benchquick:
 	$(GO) test -bench=. -benchtime=1x .
+
+# CPU + heap profiles of the paper grid (all kernels, the four headline
+# schedulers) into results/, for digging into where tick vs commit time
+# goes: `go tool pprof results/cpu.pprof`.
+profile:
+	@mkdir -p results
+	$(GO) run ./cmd/prosim -all -maxtbs 128 \
+		-cpuprofile results/cpu.pprof -memprofile results/mem.pprof
+	@echo "profiles written: results/cpu.pprof results/mem.pprof"
 
 # Regenerate every paper artifact into results/ using all cores and a
 # local result cache (warm re-runs are nearly instant).

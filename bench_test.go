@@ -25,6 +25,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/gpu"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/prosim"
@@ -337,6 +338,17 @@ func BenchmarkWideGPUParallelSM(b *testing.B) {
 				case "parallel4":
 					cfg.ParallelSMs = 4
 				}
+				// Per-phase attribution via the heartbeat listener: the
+				// listener fires on the simulation goroutine, so plain
+				// accumulators are safe here (one run at a time).
+				var parTicks, serTicks, tickNS, commitNS int64
+				gpu.SetHeartbeat(func(h gpu.Heartbeat) {
+					parTicks += h.ParTicks
+					serTicks += h.SerialTicks
+					tickNS += h.TickNS
+					commitNS += h.CommitNS
+				}, 1<<14)
+				defer gpu.SetHeartbeat(nil, 0)
 				var simCycles int64
 				for i := 0; i < b.N; i++ {
 					r, err := prosim.Run(cfg, w.Launch, "PRO", prosim.Options{})
@@ -346,6 +358,15 @@ func BenchmarkWideGPUParallelSM(b *testing.B) {
 					simCycles += r.Cycles
 				}
 				b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+				if simCycles > 0 {
+					b.ReportMetric(float64(tickNS)/float64(simCycles), "tick_ns/cycle")
+					b.ReportMetric(float64(commitNS)/float64(simCycles), "commit_ns/cycle")
+				}
+				if d := parTicks + serTicks; d > 0 {
+					// Fraction of pool-backed iterations the fan-out
+					// decision actually parallelised.
+					b.ReportMetric(float64(parTicks)/float64(d), "fanout_rate")
+				}
 			})
 		}
 	}

@@ -161,6 +161,23 @@ type Config struct {
 	// DisableSMParallel forces the serial SM tick loop regardless of
 	// ParallelSMs (differential-testing kill switch).
 	DisableSMParallel bool `json:"-"`
+	// DisableCommitBatch makes the staged-lane drain commit wheel
+	// schedules one append at a time instead of batching consecutive
+	// same-cycle runs into a single bucket copy, and acquire request
+	// carriers op by op instead of in one pre-pop pass (differential
+	// kill switch for the batched commit, DESIGN.md §12.5).
+	DisableCommitBatch bool `json:"-"`
+	// DisableMemsysParallel keeps the DRAM channel arbitration scan at
+	// its serial position in the clock loop instead of overlapping it
+	// with the parallel SM tick phase (staged grants, committed in
+	// channel order at the phase barrier — DESIGN.md §12.5).
+	DisableMemsysParallel bool `json:"-"`
+	// DisableAdaptiveFanout pins the fixed fan-out gate (fan out
+	// whenever at least two SMs are awake) instead of the measured
+	// serial-vs-parallel controller. Differential tests set it to
+	// guarantee staged-path coverage regardless of host timing; like
+	// every switch above it cannot change results, only wall-clock.
+	DisableAdaptiveFanout bool `json:"-"`
 }
 
 // GTX480 returns the configuration from Table I of the paper.

@@ -84,11 +84,33 @@ var (
 		"mean per-iteration duration of the serial lane-drain commit phase, per heartbeat window", phaseBuckets)
 	mSimImbalance = obs.NewCounter("sim_phase_imbalance_ns_total",
 		"cumulative slowest-minus-fastest worker shard nanoseconds across fanned iterations")
+
+	// Adaptive fan-out and batched-commit telemetry (DESIGN.md §12.5).
+	// The decision counters split every pool-backed iteration by the
+	// fan-out controller's verdict; their ratio is the realized
+	// parallel fraction. The batch-size histogram records the mean
+	// staged ops per non-empty lane drain over a heartbeat window, and
+	// the memsys counter tracks iterations whose DRAM channel scan was
+	// overlapped with the parallel tick phase.
+	mSimFanoutPar = obs.NewCounter(
+		obs.Labeled("sim_fanout_decisions_total", "mode", "parallel"),
+		"pool-backed loop iterations the fan-out decision parallelised")
+	mSimFanoutSer = obs.NewCounter(
+		obs.Labeled("sim_fanout_decisions_total", "mode", "serial"),
+		"pool-backed loop iterations the fan-out decision ran serially")
+	mSimLaneBatch = obs.NewHistogram("sim_lane_batch_size",
+		"mean staged effects per non-empty lane drain, per heartbeat window", laneBatchBuckets)
+	mSimMemPar = obs.NewCounter("sim_memsys_par_ticks_total",
+		"fanned iterations whose DRAM channel scan overlapped the parallel tick phase")
 )
 
 // phaseBuckets spans the microsecond scale of one tick/commit phase
 // (DefBuckets starts at 5ms — three orders of magnitude too coarse).
 var phaseBuckets = []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2}
+
+// laneBatchBuckets spans plausible mean commit batch sizes: an SM stages
+// a handful of effects per cycle, so the interesting range is 1..128.
+var laneBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // httpMetrics wraps an endpoint handler with a request counter and a
 // latency histogram labeled by path. For /v1/batch the latency is the
@@ -278,9 +300,15 @@ func New(cfg Config) (*Daemon, error) {
 		mSimSMWorkers.Set(int64(h.SMWorkers))
 		if h.ParTicks > 0 {
 			mSimParTicks.Add(h.ParTicks)
+			mSimFanoutPar.Add(h.ParTicks)
 			mSimPhaseTick.Observe(float64(h.TickNS) / float64(h.ParTicks) * 1e-9)
 			mSimPhaseCommit.Observe(float64(h.CommitNS) / float64(h.ParTicks) * 1e-9)
 			mSimImbalance.Add(h.ImbalanceNS)
+		}
+		mSimFanoutSer.Add(h.SerialTicks)
+		mSimMemPar.Add(h.MemsysParTicks)
+		if h.LaneDrains > 0 {
+			mSimLaneBatch.Observe(float64(h.LaneOps) / float64(h.LaneDrains))
 		}
 	}, 0)
 	return d, nil

@@ -63,6 +63,9 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 		"resultcache_hits_total",
 		"resultcache_written_bytes_total",
 		"sim_heartbeats_total",
+		"sim_fanout_decisions_total",
+		"sim_lane_batch_size",
+		"sim_memsys_par_ticks_total",
 	} {
 		if !strings.Contains(text, family) {
 			t.Errorf("/metrics missing family %s", family)
@@ -70,6 +73,16 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 	}
 	if !strings.Contains(text, `prosimd_http_requests_total{path="/v1/batch"}`) {
 		t.Errorf("/metrics missing per-endpoint request series:\n%s", text)
+	}
+	// Both fan-out decision modes must be pre-registered label series, so
+	// dashboards can rate() them from daemon start.
+	for _, series := range []string{
+		`sim_fanout_decisions_total{mode="parallel"}`,
+		`sim_fanout_decisions_total{mode="serial"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing series %s", series)
+		}
 	}
 }
 

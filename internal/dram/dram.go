@@ -124,6 +124,25 @@ func (c *Channel) NextEvent(now int64) (cycle int64, ok bool) {
 	return cycle, ok
 }
 
+// Horizon returns the earliest cycle at which any queued request's bank
+// is (or already was) free — the channel's contribution to a global
+// next-event horizon — with ok=false when the queue is empty. Unlike
+// NextEvent it is not clamped to a caller's "now": the memory system
+// recomputes it only when the channel mutates (enqueue or grant) and
+// caches it in a heap, clamping at query time.
+func (c *Channel) Horizon() (cycle int64, ok bool) {
+	if len(c.queue) == 0 {
+		return 0, false
+	}
+	cycle = int64(1<<63 - 1)
+	for _, r := range c.queue {
+		if at := c.bankBusy[r.bank]; at < cycle {
+			cycle = at
+		}
+	}
+	return cycle, true
+}
+
 // Tick performs one arbitration step at cycle: grants at most one request
 // per call (the command/data bus serializes grants). Completion callbacks
 // are scheduled by the caller via the returned (req, doneAt) pair;

@@ -29,6 +29,20 @@ type SM struct {
 	// WarpSlots holds resident warps; a TB's warps occupy the contiguous
 	// range [slot*WarpsPerTB, (slot+1)*WarpsPerTB).
 	WarpSlots []*Warp
+
+	// liveBits and validBits pack per-warp-slot state into 64-slot words
+	// — the flat, branch-light scan layout of DESIGN.md §8.10 — so the
+	// hot scan loops (trySleep, round-robin order rebuilds) test 64
+	// warps per word instead of dereferencing every WarpSlots entry.
+	// A liveBits bit marks a slot holding a resident, unfinished warp
+	// (set by AssignTB, cleared on Exit and TB retirement); a validBits
+	// bit mirrors Warp.Valid — equivalently nextIn != nil — and is
+	// maintained at the single choke point every Valid transition runs
+	// through, refreshNextInstr. slotMasks[k] selects the warp slots
+	// owned by scheduler slot k (Slot % SchedulersPerSM).
+	liveBits  []uint64
+	validBits []uint64
+	slotMasks [][]uint64
 	// TBSlots holds resident TBs, nil when free. Its length is the
 	// launch's per-SM residency limit.
 	TBSlots []*ThreadBlock
@@ -179,6 +193,16 @@ func NewSM(id int, cfg *config.Config, wheel *timing.Wheel, mem *memsys.System, 
 	if cfg.ICacheSize > 0 {
 		sm.icache = cache.MustNew(cfg.ICacheSize, cfg.ICacheAssoc, cfg.ICacheLineInstrs*8)
 	}
+	words := (len(sm.WarpSlots) + 63) / 64
+	sm.liveBits = make([]uint64, words)
+	sm.validBits = make([]uint64, words)
+	sm.slotMasks = make([][]uint64, cfg.SchedulersPerSM)
+	for k := range sm.slotMasks {
+		sm.slotMasks[k] = make([]uint64, words)
+	}
+	for i := range sm.WarpSlots {
+		sm.slotMasks[i%cfg.SchedulersPerSM][i>>6] |= 1 << uint(i&63)
+	}
 	sm.orderCaches = make([]orderCache, cfg.SchedulersPerSM)
 	sm.slotClass = make([]slotOutcome, cfg.SchedulersPerSM)
 	sm.slotGates = make([]slotGate, cfg.SchedulersPerSM)
@@ -234,6 +258,7 @@ func (sm *SM) AssignTB(global int, cycle int64) *ThreadBlock {
 		for i, w := range tb.Warps {
 			w.reset(tb, i, slot*wpt+i, cycle)
 			sm.WarpSlots[w.Slot] = w
+			sm.setLiveBit(w.Slot)
 			sm.scheduleFetch(w)
 		}
 	} else {
@@ -250,6 +275,7 @@ func (sm *SM) AssignTB(global int, cycle int64) *ThreadBlock {
 			w := newWarp(sm, tb, i, slot*wpt+i, cycle)
 			tb.Warps[i] = w
 			sm.WarpSlots[w.Slot] = w
+			sm.setLiveBit(w.Slot)
 			sm.scheduleFetch(w)
 		}
 	}
@@ -423,12 +449,17 @@ const NeverWake = neverWake
 // admission, which is irrelevant while no warp is scoreboard-ready.
 func (sm *SM) trySleep(cycle int64) {
 	wake := neverWake
-	for _, w := range sm.WarpSlots {
-		if w == nil || w.finished || w.atBar || w.ibuf == 0 {
-			continue // changes arrive via wakeEvent, not with time
-		}
-		if at := w.readyAt(w.NextInstr()); at < wake {
-			wake = at
+	// Only Valid warps (validBits ≡ !finished && !atBar && ibuf > 0 —
+	// exactly the warps the old per-slot walk kept) have a time-driven
+	// state change; everything else arrives via wakeEvent, not with time.
+	for wi, word := range sm.validBits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			w := sm.WarpSlots[wi<<6|b]
+			if at := w.readyAt(w.nextIn); at < wake {
+				wake = at
+			}
 		}
 	}
 	if sm.timed != nil && sm.residentTBs > 0 {
@@ -442,6 +473,57 @@ func (sm *SM) trySleep(cycle int64) {
 	sm.asleep = true
 	sm.wakeAt = wake
 	sm.sleepFrom = cycle
+}
+
+// setValidBit mirrors w.nextIn != nil into validBits. Called only from
+// the warp's refreshNextInstr (and reset), which every Valid-state
+// transition funnels through, so the mask can never drift from the
+// pointer it mirrors.
+func (sm *SM) setValidBit(slot int, ok bool) {
+	if ok {
+		sm.validBits[slot>>6] |= 1 << uint(slot&63)
+	} else {
+		sm.validBits[slot>>6] &^= 1 << uint(slot&63)
+	}
+}
+
+func (sm *SM) setLiveBit(slot int)   { sm.liveBits[slot>>6] |= 1 << uint(slot&63) }
+func (sm *SM) clearLiveBit(slot int) { sm.liveBits[slot>>6] &^= 1 << uint(slot&63) }
+
+// ScanLive appends scheduler slot schedSlot's live warps (resident and
+// not yet finished) to dst in warp-slot order, starting at warp slot
+// start and wrapping — the rotation primitive for round-robin order
+// rebuilds. It walks the packed liveBits words, so a rebuild tests 64
+// slots per word instead of loading every WarpSlots pointer. Excluding
+// finished warps here is invisible to issue behaviour: compactOrder
+// drops them from every produced order anyway.
+func (sm *SM) ScanLive(schedSlot, start int, dst []*Warp) []*Warp {
+	words := sm.liveBits
+	mask := sm.slotMasks[schedSlot]
+	sw, sb := start>>6, uint(start&63)
+	for wi := sw; wi < len(words); wi++ {
+		word := words[wi] & mask[wi]
+		if wi == sw {
+			word &= ^uint64(0) << sb
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			dst = append(dst, sm.WarpSlots[wi<<6|b])
+		}
+	}
+	for wi := 0; wi <= sw && wi < len(words); wi++ {
+		word := words[wi] & mask[wi]
+		if wi == sw {
+			word &= 1<<sb - 1
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			dst = append(dst, sm.WarpSlots[wi<<6|b])
+		}
+	}
+	return dst
 }
 
 // wake ends a sleep at cycle, accounting the skipped cycles' stalls;
@@ -897,6 +979,7 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 		}
 	case isa.OpExit:
 		w.finished = true
+		sm.clearLiveBit(w.Slot)
 		w.FinishCycle = cycle
 		w.stack = w.stack[:0]
 		tb.WarpsFinished++
@@ -920,7 +1003,12 @@ func (sm *SM) retireTB(tb *ThreadBlock, cycle int64) {
 	sm.WarpDisparitySum += tb.WarpDisparity()
 	wpt := sm.Launch.WarpsPerTB()
 	for i := 0; i < wpt; i++ {
+		// Every warp already finished (cleared its live and valid bits
+		// on Exit via clearLiveBit / refreshNextInstr); clear anyway so
+		// the masks can never outlive the slot pointers.
 		sm.WarpSlots[tb.Slot*wpt+i] = nil
+		sm.clearLiveBit(tb.Slot*wpt + i)
+		sm.setValidBit(tb.Slot*wpt+i, false)
 	}
 	sm.TBSlots[tb.Slot] = nil
 	sm.residentTBs--

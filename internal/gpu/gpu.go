@@ -151,6 +151,8 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 
 	var pool *smPool
 	var lanes []*memsys.Lane
+	var ctl *fanoutCtl
+	memsysPar := false
 	if par {
 		lanes = make([]*memsys.Lane, cfg.NumSMs)
 		for i := range lanes {
@@ -158,6 +160,10 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		}
 		pool = newSMPool(sms, lanes, smWorkers)
 		defer pool.close()
+		memsysPar = !cfg.DisableMemsysParallel
+		if !cfg.DisableAdaptiveFanout {
+			ctl = newFanoutCtl()
+		}
 	}
 
 	// Thread Block Scheduler: breadth-first round-robin assignment; after
@@ -327,11 +333,9 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 	hbOn := hb != nil
 	var hbPrevCycle, hbIters, hbJumps, hbNext int64
 	var hbParTicks, hbTickNS, hbCommitNS, hbImbalNS int64
+	var hbSerTicks, hbMemParTicks, hbLaneOps, hbLaneDrains int64
 	if hbOn {
 		hbNext = hb.every
-		if pool != nil {
-			pool.timed = true
-		}
 	}
 	emitHeartbeat := func(cycle int64, final bool) {
 		resident := 0
@@ -344,10 +348,37 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 			Iters: hbIters, FFJumps: hbJumps,
 			SMWorkers: smWorkers, ParTicks: hbParTicks,
 			TickNS: hbTickNS, CommitNS: hbCommitNS, ImbalanceNS: hbImbalNS,
+			SerialTicks: hbSerTicks, MemsysParTicks: hbMemParTicks,
+			LaneOps: hbLaneOps, LaneDrains: hbLaneDrains,
 			Final: final,
 		})
 		hbIters, hbJumps = 0, 0
 		hbParTicks, hbTickNS, hbCommitNS, hbImbalNS = 0, 0, 0, 0
+		hbSerTicks, hbMemParTicks, hbLaneOps, hbLaneDrains = 0, 0, 0, 0
+	}
+
+	// commitLanes is phase 2 of a fanned iteration: one pass over the
+	// SMs in ID order, draining each SM's staged lane and then its
+	// retire buffer. Fusing the two walks into one pass is identity-
+	// safe: lane effects (wheel buckets, interconnect sends, carrier
+	// pops) and retire effects (assignDirty, timeline rows) touch
+	// disjoint state, so the per-SM interleaving leaves every structure
+	// exactly as the two separate SM-ordered passes would have.
+	commitLanes := func() {
+		for i, l := range lanes {
+			if hbOn {
+				if n := l.Pending(); n > 0 {
+					hbLaneOps += int64(n)
+					hbLaneDrains++
+				}
+			}
+			l.Drain()
+			for j, tb := range retired[i] {
+				handleRetire(tb)
+				retired[i][j] = nil
+			}
+			retired[i] = retired[i][:0]
+		}
 	}
 
 	lastIssued := int64(-1)
@@ -364,7 +395,31 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 			}
 		}
 		wheel.Advance(cycle)
-		mem.Tick(cycle)
+		// Fan-out decision for this iteration. eligible: the pool exists
+		// and enough SMs are awake to ever justify fanning. fanned: the
+		// adaptive controller's (or, with the controller disabled, the
+		// static rule's) verdict. Both paths commit identical state, so
+		// this is pure execution policy (DESIGN.md §12.5).
+		eligible := par && awake >= fanOutMin
+		fanned := eligible
+		sampled := false
+		if ctl != nil && eligible {
+			fanned = ctl.parallel()
+			sampled = ctl.sampleIter()
+		}
+		awakeNow := awake
+		// On fanned iterations the DRAM channel scan is staged by the
+		// coordinator while the workers run phase 1 and committed at the
+		// top of phase 2; otherwise it runs here, at the classic
+		// pre-assign position. Channel state is untouched between here
+		// and the barrier (assign and SM ticks never reach the channels),
+		// so both scans observe identical state.
+		stageMem := fanned && memsysPar
+		if !stageMem {
+			mem.Tick(cycle)
+		} else if hbOn && mem.QueuedDRAM() > 0 {
+			hbMemParTicks++
+		}
 		assign(cycle)
 		done := true
 		// The watchdog's issued sum is accumulated once all SM ticks for
@@ -374,28 +429,41 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		// sum. trackSM in the same pass refreshes the sleep mirror and
 		// wake-heap used by nextCycle.
 		var issued int64
-		if par && awake >= fanOutMin {
+		if fanned {
 			// Two-phase commit: parallel staged ticks, then a serial
 			// drain in SM-ID order that replays the shared side effects
 			// exactly as the serial loop would have interleaved them.
-			if pool.timed {
-				t0 := time.Now()
-				pool.tick(cycle)
-				t1 := time.Now()
-				for _, l := range lanes {
-					l.Drain()
-				}
-				drainRetires()
-				hbParTicks++
-				hbTickNS += t1.Sub(t0).Nanoseconds()
-				hbCommitNS += time.Since(t1).Nanoseconds()
-				hbImbalNS += pool.imbalance()
+			timed := hbOn || sampled
+			pool.timed = timed
+			var t0, t1 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			if stageMem {
+				pool.tick(cycle, mem)
 			} else {
-				pool.tick(cycle)
-				for _, l := range lanes {
-					l.Drain()
+				pool.tick(cycle, nil)
+			}
+			if timed {
+				t1 = time.Now()
+			}
+			if stageMem {
+				mem.TickCommit()
+			}
+			commitLanes()
+			if timed {
+				tickNS := t1.Sub(t0).Nanoseconds()
+				commitNS := time.Since(t1).Nanoseconds()
+				imbal := pool.imbalance()
+				if hbOn {
+					hbParTicks++
+					hbTickNS += tickNS
+					hbCommitNS += commitNS
+					hbImbalNS += imbal
 				}
-				drainRetires()
+				if sampled {
+					ctl.record(awakeNow, tickNS+commitNS, tickNS, imbal)
+				}
 			}
 			for i, sm := range sms {
 				if !sm.Done() {
@@ -405,6 +473,10 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 				trackSM(i, sm)
 			}
 		} else {
+			var t0 time.Time
+			if sampled {
+				t0 = time.Now()
+			}
 			for i, sm := range sms {
 				sm.Tick(cycle)
 				if !sm.Done() {
@@ -413,12 +485,21 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 				issued += sm.WarpInstrs
 				trackSM(i, sm)
 			}
+			if sampled {
+				ctl.record(awakeNow, time.Since(t0).Nanoseconds(), 0, 0)
+			}
 			if par {
 				// The staged retire closure is wired whenever the pool
 				// exists, including iterations ticked serially below
-				// the fan-out threshold.
+				// the fan-out threshold or by the controller's choice.
 				drainRetires()
+				if hbOn {
+					hbSerTicks++
+				}
 			}
+		}
+		if eligible && ctl != nil && ctl.endIter() && !pool.dynamic {
+			pool.dynamic = true
 		}
 		if opts.SampleEvery > 0 && cycle%opts.SampleEvery == 0 {
 			sample(cycle)

@@ -38,6 +38,22 @@ type Heartbeat struct {
 	TickNS      int64
 	CommitNS    int64
 	ImbalanceNS int64
+	// SerialTicks counts iterations since the previous heartbeat whose
+	// fan-out decision was serial even though the pool existed (awake
+	// SMs below the floor, or the adaptive controller estimating the
+	// fused serial loop cheaper). ParTicks + SerialTicks is the total
+	// decision count on a parallel-capable run.
+	SerialTicks int64
+	// MemsysParTicks counts fanned iterations whose DRAM channel scan
+	// was overlapped with the parallel tick phase (staged grants,
+	// committed at the barrier) and actually had queued requests.
+	MemsysParTicks int64
+	// LaneOps is the number of staged lane effects committed since the
+	// previous heartbeat; LaneDrains the number of non-empty lane
+	// drains. Their ratio is the mean commit batch size
+	// (sim_lane_batch_size).
+	LaneOps    int64
+	LaneDrains int64
 	// Final marks the run-completion heartbeat.
 	Final bool
 }

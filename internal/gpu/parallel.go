@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -30,19 +31,173 @@ func resolveSMWorkers(cfg *config.Config) int {
 	return n
 }
 
-// fanOutMin is the minimum number of awake SMs for which an iteration
-// uses the worker pool; below it the coordinator ticks the (mostly
-// sleeping) array itself and skips two channel rendezvous per worker.
-// Purely a latency heuristic: both paths commit identical state, so the
-// threshold cannot affect results.
+// fanOutMin is the hard floor on fanning out: below two awake SMs the
+// coordinator always ticks the (mostly sleeping) array itself and skips
+// two channel rendezvous per worker. Purely a latency heuristic: both
+// paths commit identical state, so the threshold cannot affect results.
 const fanOutMin = 2
 
+// Adaptive fan-out controller tuning. The controller replaces the old
+// always-fan-out-above-the-floor rule with a measured choice: it clocks
+// a subsample of eligible iterations in whichever mode is active,
+// maintains per-mode EWMA estimates of nanoseconds per awake SM, and at
+// window boundaries steers to the cheaper mode. Because both modes are
+// bit-identical, the controller is free to flip on wall-clock evidence
+// alone — it is an execution knob, never identity (DESIGN.md §12.5).
+const (
+	// ctlWindow is how many eligible iterations one decision window
+	// spans; the steady mode is reconsidered only at window boundaries
+	// so the pool is not thrashed by noise.
+	ctlWindow = 256
+	// ctlSampleMask subsamples timing: one eligible iteration in 8 is
+	// clocked, keeping the clock calls off seven-eighths of iterations.
+	ctlSampleMask = 7
+	// ctlProbeEvery: after this many steady windows the controller runs
+	// one window in the non-steady mode so a stale estimate (awake-SM
+	// mix changed, host load changed) can win back.
+	ctlProbeEvery = 16
+	// ctlHysteresis: the other mode must beat the steady one by more
+	// than 10% before the controller flips.
+	ctlHysteresis = 1.10
+	// ctlEWMA is the fold-in weight of a fresh window estimate.
+	ctlEWMA = 0.5
+	// ctlImbalFrac and ctlImbalStreak trigger the shard rebalance: when
+	// the slowest-minus-fastest worker shard time exceeds this fraction
+	// of the parallel phase for this many consecutive measured parallel
+	// windows, the pool switches from static interleaved shards to
+	// dynamic SM claiming.
+	ctlImbalFrac   = 0.5
+	ctlImbalStreak = 2
+)
+
+// fanoutCtl decides, for each eligible iteration (worker pool present
+// and awake >= fanOutMin), whether to fan out or run the fused serial
+// loop. serNS/parNS are EWMA estimates of nanoseconds per awake SM per
+// iteration (0 = not yet measured); the active window runs one mode and
+// refines that mode's estimate.
+type fanoutCtl struct {
+	steadyPar bool // the mode the estimates currently favour
+	probing   bool // this window runs the opposite mode to refresh it
+
+	serNS, parNS float64
+
+	iter       int   // eligible-iteration counter (sampling phase)
+	winLeft    int   // eligible iterations left in the current window
+	winNS      int64 // summed sampled span ns this window
+	winAwake   int64 // summed awake counts over the sampled iterations
+	winSamples int
+	winTickNS  int64 // parallel windows: summed phase-1 ns
+	winImbalNS int64 // parallel windows: summed shard spread ns
+
+	steady   int // completed decided windows since the last probe
+	imbalHot int // consecutive parallel windows above the imbalance bar
+}
+
+func newFanoutCtl() *fanoutCtl {
+	// Start in parallel mode: the run was configured with workers, so
+	// give the staged path the first estimate (and the differential
+	// tests their staged coverage) before probing serial.
+	return &fanoutCtl{steadyPar: true, winLeft: ctlWindow}
+}
+
+// parallel reports the mode for the current window.
+func (c *fanoutCtl) parallel() bool { return c.steadyPar != c.probing }
+
+// sampleIter advances the eligible-iteration counter and reports
+// whether this iteration should be clocked.
+func (c *fanoutCtl) sampleIter() bool {
+	c.iter++
+	return c.iter&ctlSampleMask == 0
+}
+
+// record adds one clocked iteration: ns spans the whole SM phase of the
+// active mode (serial: the fused tick loop; parallel: fan-out plus
+// commit). tickNS and imbalNS carry the parallel split and are zero on
+// serial samples.
+func (c *fanoutCtl) record(awake int, ns, tickNS, imbalNS int64) {
+	c.winNS += ns
+	c.winAwake += int64(awake)
+	c.winSamples++
+	c.winTickNS += tickNS
+	c.winImbalNS += imbalNS
+}
+
+// endIter closes one eligible iteration; at window boundaries it folds
+// the window's measurement into the active mode's estimate and picks
+// the next window's mode. goDynamic=true asks the caller to switch the
+// pool to dynamic shard claiming (persistent imbalance).
+func (c *fanoutCtl) endIter() (goDynamic bool) {
+	c.winLeft--
+	if c.winLeft > 0 {
+		return false
+	}
+	c.winLeft = ctlWindow
+	ranPar := c.parallel()
+	if c.winSamples > 0 && c.winAwake > 0 {
+		est := float64(c.winNS) / float64(c.winAwake)
+		if ranPar {
+			c.parNS = fold(c.parNS, est)
+			if c.winTickNS > 0 {
+				if float64(c.winImbalNS) > ctlImbalFrac*float64(c.winTickNS) {
+					c.imbalHot++
+					if c.imbalHot >= ctlImbalStreak {
+						c.imbalHot = 0
+						goDynamic = true
+					}
+				} else {
+					c.imbalHot = 0
+				}
+			}
+		} else {
+			c.serNS = fold(c.serNS, est)
+		}
+	}
+	c.winNS, c.winAwake, c.winSamples = 0, 0, 0
+	c.winTickNS, c.winImbalNS = 0, 0
+
+	c.probing = false
+	switch {
+	case c.serNS == 0:
+		// Serial never measured: probe it next (steadyPar is still
+		// parallel here, so probing selects the serial loop).
+		c.probing = c.steadyPar
+	case c.parNS == 0:
+		c.probing = !c.steadyPar
+	default:
+		if c.steadyPar && c.serNS*ctlHysteresis < c.parNS {
+			c.steadyPar = false
+		} else if !c.steadyPar && c.parNS*ctlHysteresis < c.serNS {
+			c.steadyPar = true
+		}
+		c.steady++
+		if c.steady >= ctlProbeEvery {
+			c.steady = 0
+			c.probing = true
+		}
+	}
+	return goDynamic
+}
+
+func fold(ewma, fresh float64) float64 {
+	if ewma == 0 {
+		return fresh
+	}
+	return ewma*(1-ctlEWMA) + fresh*ctlEWMA
+}
+
 // smPool is the persistent worker pool that runs phase 1 of the
-// two-phase commit: each worker owns a static interleaved shard of the
-// SM array (worker w ticks SMs w, w+nw, ...) and stages all shared side
-// effects into the per-SM lanes. The coordinator then drains the lanes
-// in SM-ID order (phase 2). Workers live for the whole run; a tick is
-// one start send and one done receive per worker.
+// two-phase commit: each worker ticks a set of SMs and stages all
+// shared side effects into the per-SM lanes. The coordinator then
+// drains the lanes in SM-ID order (phase 2). Workers live for the whole
+// run; a tick is one start send and one done receive per worker.
+//
+// Shard assignment has two modes. Static (the default): worker w owns
+// the interleaved shard w, w+nw, ... Dynamic (entered when the fan-out
+// controller sees persistent shard imbalance): workers claim SM indices
+// one at a time off an atomic cursor, so a cluster of expensive SMs
+// cannot pin one worker. Phase-1 execution order across SMs is free —
+// each SM is ticked exactly once and stages only into its own lane —
+// so the mode switch cannot affect results, only balance.
 type smPool struct {
 	sms   []*engine.SM
 	lanes []*memsys.Lane
@@ -51,10 +206,13 @@ type smPool struct {
 	done  chan struct{}
 	fault chan any
 
-	// timed asks workers to clock their shard (heartbeat telemetry
-	// only). Written by the coordinator between ticks; the channel
-	// rendezvous orders it against worker reads.
+	// timed asks workers to clock their shard (fan-out controller
+	// samples and heartbeat telemetry). dynamic selects the claiming
+	// mode. Both are written by the coordinator between ticks; the
+	// channel rendezvous orders them against worker reads.
 	timed   bool
+	dynamic bool
+	cursor  atomic.Int64
 	shardNS []int64
 }
 
@@ -82,8 +240,9 @@ func (p *smPool) worker(w int) {
 	}
 }
 
-// tickShard runs worker w's SMs for one cycle, converting a panic into
-// a fault report so the coordinator's barrier never deadlocks.
+// tickShard runs worker w's share of the SMs for one cycle, converting
+// a panic into a fault report so the coordinator's barrier never
+// deadlocks.
 func (p *smPool) tickShard(w int, cycle int64) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -95,8 +254,18 @@ func (p *smPool) tickShard(w int, cycle int64) {
 	if timed {
 		t0 = time.Now()
 	}
-	for i := w; i < len(p.sms); i += p.nw {
-		p.sms[i].TickStaged(cycle, p.lanes[i])
+	if p.dynamic {
+		for {
+			i := int(p.cursor.Add(1)) - 1
+			if i >= len(p.sms) {
+				break
+			}
+			p.sms[i].TickStaged(cycle, p.lanes[i])
+		}
+	} else {
+		for i := w; i < len(p.sms); i += p.nw {
+			p.sms[i].TickStaged(cycle, p.lanes[i])
+		}
 	}
 	if timed {
 		p.shardNS[w] = time.Since(t0).Nanoseconds()
@@ -104,11 +273,21 @@ func (p *smPool) tickShard(w int, cycle int64) {
 }
 
 // tick fans one cycle out to every worker and waits for all of them
-// (the phase barrier). A worker panic is re-raised here, on the
-// coordinator goroutine, after the barrier completes.
-func (p *smPool) tick(cycle int64) {
+// (the phase barrier). While the workers run, the coordinator — which
+// would otherwise idle at the barrier — overlaps the staged DRAM
+// channel scan when mem is non-nil (the grants are committed by the
+// caller, after the barrier, in channel order). A worker panic is
+// re-raised here, on the coordinator goroutine, after the barrier
+// completes.
+func (p *smPool) tick(cycle int64, mem *memsys.System) {
+	if p.dynamic {
+		p.cursor.Store(0)
+	}
 	for _, ch := range p.start {
 		ch <- cycle
+	}
+	if mem != nil {
+		mem.TickStage(cycle)
 	}
 	for range p.start {
 		<-p.done

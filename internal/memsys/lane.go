@@ -21,6 +21,13 @@ type Lane struct {
 	s   *System
 	sm  int
 	ops []laneOp
+
+	// Drain-time scratch, reused across phases: fns collects a run of
+	// same-cycle schedule callbacks for one ScheduleBatch slab append;
+	// reads/writes hold the carriers pre-popped for this drain.
+	fns    []timing.Event
+	reads  []*readReq
+	writes []*writeReq
 }
 
 type laneKind uint8
@@ -54,7 +61,9 @@ func (s *System) NewLane(sm int) *Lane {
 // SM returns the owning SM's ID (lanes are drained in this order).
 func (l *Lane) SM() int { return l.sm }
 
-// Pending returns the number of staged, undrained effects.
+// Pending returns the number of staged, undrained effects. The clock
+// loop reads it just before Drain to feed the commit-phase telemetry
+// (lane batch sizes in the heartbeat, sim_lane_batch_size histogram).
 func (l *Lane) Pending() int { return len(l.ops) }
 
 // LoadLine is System.LoadLine with shared side effects staged.
@@ -95,24 +104,93 @@ func (l *Lane) write(sm int, line uint64) {
 }
 
 // Drain applies the staged effects in staging order and empties the
-// lane. Carrier acquisition (getRead/getWrite) happens here, not at
+// lane. Carrier acquisition (popRead/popWrite) happens here, not at
 // staging time, so the shared free lists are only ever touched by the
 // coordinator goroutine — and pool pop order matches the serial loop's.
+//
+// Two batched-commit refinements (DESIGN.md §12.5), both identity-
+// preserving by construction and gated by config.DisableCommitBatch:
+// a run of consecutive schedule ops with the same delay lands in its
+// wheel bucket as one slab append (ScheduleBatch keeps slice order, so
+// FIFO dispatch is unchanged), and every carrier the drain will consume
+// is popped from the free lists up front in one pass (nothing recycles
+// a carrier mid-drain — free-list pushes happen only inside wheel
+// events — so the pre-popped sequence is exactly the op-by-op one).
+//
+// Every drained slot's callback reference is cleared, including batched
+// runs, so the reusable op buffer never keeps a stale closure — and the
+// warp state it captures — alive across phases.
 func (l *Lane) Drain() {
 	s := l.s
-	for i := range l.ops {
-		op := &l.ops[i]
+	ops := l.ops
+	if len(ops) == 0 {
+		return
+	}
+	batch := !s.cfg.DisableCommitBatch
+	if batch {
+		nr, nw := 0, 0
+		for i := range ops {
+			switch ops[i].kind {
+			case laneReadFill, laneReadRaw:
+				nr++
+			case laneWrite:
+				nw++
+			}
+		}
+		l.reads = l.reads[:0]
+		for ; nr > 0; nr-- {
+			l.reads = append(l.reads, s.popRead())
+		}
+		l.writes = l.writes[:0]
+		for ; nw > 0; nw-- {
+			l.writes = append(l.writes, s.popWrite())
+		}
+	}
+	ri, wi := 0, 0
+	for i := 0; i < len(ops); {
+		op := &ops[i]
 		switch op.kind {
 		case laneSchedule:
-			s.wheel.ScheduleAfter(op.delay, op.fn)
-		case laneReadFill:
-			s.sendRead(l.sm, op.line, true)
-		case laneReadRaw:
-			s.sendRead(l.sm, op.line, false)
+			j := i + 1
+			if batch {
+				for j < len(ops) && ops[j].kind == laneSchedule && ops[j].delay == op.delay {
+					j++
+				}
+			}
+			if j == i+1 {
+				s.wheel.ScheduleAfter(op.delay, op.fn)
+				op.fn = nil
+			} else {
+				l.fns = l.fns[:0]
+				for k := i; k < j; k++ {
+					l.fns = append(l.fns, ops[k].fn)
+					ops[k].fn = nil
+				}
+				s.wheel.ScheduleBatch(s.wheel.Now()+op.delay, l.fns)
+				for k := range l.fns {
+					l.fns[k] = nil
+				}
+			}
+			i = j
+			continue
+		case laneReadFill, laneReadRaw:
+			if batch {
+				s.sendReadCarrier(l.reads[ri], l.sm, op.line, op.kind == laneReadFill)
+				l.reads[ri] = nil
+				ri++
+			} else {
+				s.sendRead(l.sm, op.line, op.kind == laneReadFill)
+			}
 		case laneWrite:
-			s.sendWrite(l.sm, op.line)
+			if batch {
+				s.sendWriteCarrier(l.writes[wi], l.sm, op.line)
+				l.writes[wi] = nil
+				wi++
+			} else {
+				s.sendWrite(l.sm, op.line)
+			}
 		}
-		op.fn = nil // drop the callback reference until the slot is reused
+		i++
 	}
-	l.ops = l.ops[:0]
+	l.ops = ops[:0]
 }

@@ -52,6 +52,20 @@ type System struct {
 	// (i.e. were not skipped as idle) — observable for tests.
 	TickScans int64
 
+	// horizons caches each channel's earliest-grantable cycle in a
+	// lazy-deletion min-heap, refreshed only when a channel mutates
+	// (enqueue or grant). NextEvent then answers from the heap top
+	// instead of rescanning every channel queue per clock iteration.
+	horizons *timing.WakeHeap
+
+	// Staged-tick state for the overlapped (parallel-phase) DRAM scan:
+	// TickStage records at most one grant per channel here, and
+	// TickCommit applies them in channel order — the exact order the
+	// serial Tick loop would have committed them in.
+	granted []*dram.Request
+	grantAt []int64
+	staged  bool
+
 	// Free lists of pooled request carriers. Each carrier binds its event
 	// callbacks once at first allocation, so the steady-state memory path
 	// schedules wheel/network events without allocating closures. The
@@ -82,9 +96,12 @@ type readReq struct {
 	retryDRAM timing.Event // DRAM queue was full: replay the enqueue
 }
 
-// getRead fetches a carrier from the free list (or builds one, binding
-// its callbacks) and points it at the given transaction.
-func (s *System) getRead(sm int, line uint64, fillL1 bool) *readReq {
+// popRead takes a carrier off the free list, building one (and binding
+// its callbacks) when the list is empty. Pop order is part of the
+// determinism contract: the staged-lane drain pre-pops the exact number
+// of carriers a drain will consume, in op order, which yields the same
+// carrier sequence as the serial loop's pop-per-transaction.
+func (s *System) popRead() *readReq {
 	r := s.readFree
 	if r != nil {
 		s.readFree = r.next
@@ -112,9 +129,19 @@ func (s *System) getRead(sm int, line uint64, fillL1 bool) *readReq {
 		r.retryL2 = func(int64) { r.s.l2Read(r) }
 		r.retryDRAM = func(int64) { r.s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM) }
 	}
+	return r
+}
+
+// initRead points a pooled carrier at a concrete transaction.
+func (s *System) initRead(r *readReq, sm int, line uint64, fillL1 bool) {
 	r.sm, r.line, r.fillL1 = sm, line, fillL1
 	r.p = s.partition(line)
 	r.dreq = dram.Request{Line: line, Done: r.dramDone}
+}
+
+func (s *System) getRead(sm int, line uint64, fillL1 bool) *readReq {
+	r := s.popRead()
+	s.initRead(r, sm, line, fillL1)
 	return r
 }
 
@@ -142,7 +169,9 @@ type writeReq struct {
 	retryDRAM timing.Event
 }
 
-func (s *System) getWrite(sm int, line uint64) *writeReq {
+// popWrite is popRead's store-side counterpart (same pooling and pop
+// order contract).
+func (s *System) popWrite() *writeReq {
 	r := s.writeFree
 	if r != nil {
 		s.writeFree = r.next
@@ -158,9 +187,19 @@ func (s *System) getWrite(sm int, line uint64) *writeReq {
 		}
 		r.retryDRAM = func(int64) { r.s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM) }
 	}
+	return r
+}
+
+// initWrite points a pooled carrier at a concrete store transaction.
+func (s *System) initWrite(r *writeReq, sm int, line uint64) {
 	r.sm, r.line = sm, line
 	r.p = s.partition(line)
 	r.dreq = dram.Request{Line: line, Write: true, Done: r.release}
+}
+
+func (s *System) getWrite(sm int, line uint64) *writeReq {
+	r := s.popWrite()
+	s.initWrite(r, sm, line)
 	return r
 }
 
@@ -177,6 +216,9 @@ func New(cfg *config.Config, wheel *timing.Wheel) *System {
 		l2mshr:    make([]*cache.MSHR, cfg.L2Partitions),
 		chans:     make([]*dram.Channel, cfg.L2Partitions),
 		storesOut: make([]int, cfg.NumSMs),
+		horizons:  timing.NewWakeHeap(cfg.L2Partitions),
+		granted:   make([]*dram.Request, cfg.L2Partitions),
+		grantAt:   make([]int64, cfg.L2Partitions),
 	}
 	for i := range s.l1 {
 		s.l1[i] = cache.MustNew(cfg.L1Size, cfg.L1Assoc, cfg.L1Line)
@@ -209,36 +251,95 @@ func (s *System) Tick(cycle int64) {
 		return
 	}
 	s.TickScans++
-	for _, ch := range s.chans {
+	for p, ch := range s.chans {
 		if r, doneAt := ch.Tick(cycle); r != nil {
-			s.dramQueued--
-			if r.Done != nil {
-				s.wheel.Schedule(doneAt, r.Done)
-			}
+			s.commitGrant(p, r, doneAt)
 		}
 	}
+}
+
+// TickStage is the arbitration half of Tick, safe to run concurrently
+// with staged SM ticks: it scans every channel (each channel's queue,
+// bank and row state is private to this call) and records the grants
+// without touching the timing wheel or any other shared structure.
+// TickCommit must follow on the coordinator goroutine before any wheel
+// event can fire. The split lets the clock loop overlap the DRAM scan
+// with phase 1 of the parallel SM tick (DESIGN.md §12.5).
+func (s *System) TickStage(cycle int64) {
+	if s.dramQueued == 0 {
+		return
+	}
+	s.TickScans++
+	s.staged = true
+	for p, ch := range s.chans {
+		s.granted[p], s.grantAt[p] = ch.Tick(cycle)
+	}
+}
+
+// TickCommit applies the grants recorded by the last TickStage in
+// channel order — exactly the order the serial Tick loop interleaves
+// its wheel schedules in — and clears the staging buffer.
+func (s *System) TickCommit() {
+	if !s.staged {
+		return
+	}
+	s.staged = false
+	for p, r := range s.granted {
+		if r == nil {
+			continue
+		}
+		s.granted[p] = nil
+		s.commitGrant(p, r, s.grantAt[p])
+	}
+}
+
+// commitGrant applies one channel grant's shared effects: the queue
+// count, the completion event, and the channel's refreshed horizon.
+func (s *System) commitGrant(p int, r *dram.Request, doneAt int64) {
+	s.dramQueued--
+	if r.Done != nil {
+		s.wheel.Schedule(doneAt, r.Done)
+	}
+	s.refreshHorizon(p)
+}
+
+// refreshHorizon re-mirrors channel p's earliest-grantable cycle into
+// the horizon heap. Called only when the channel mutates (enqueue or
+// grant), so the per-mutation queue walk replaces a per-clock-iteration
+// walk of every channel in NextEvent.
+func (s *System) refreshHorizon(p int) {
+	at, ok := s.chans[p].Horizon()
+	if !ok {
+		s.horizons.Clear(p)
+		return
+	}
+	if at < 1 {
+		// Bank already free (possibly since cycle 0); WakeHeap treats 0
+		// as "disarmed", so clamp — NextEvent clamps to now+1 anyway.
+		at = 1
+	}
+	s.horizons.Set(p, at)
 }
 
 // NextEvent returns the earliest cycle strictly after now at which Tick
 // could grant a DRAM request, or ok=false when no channel has queued
 // work. All other memory-system activity (cache fills, interconnect
 // traversal, MSHR responses, retries) is scheduled on the timing wheel
-// and is therefore covered by the wheel's own NextEvent.
+// and is therefore covered by the wheel's own NextEvent. The answer
+// comes from the horizon heap maintained by refreshHorizon, so the call
+// is O(1) amortized instead of a scan over every channel queue.
 func (s *System) NextEvent(now int64) (cycle int64, ok bool) {
 	if s.dramQueued == 0 {
 		return 0, false
 	}
-	for _, ch := range s.chans {
-		if at, chOK := ch.NextEvent(now); chOK {
-			if at == now+1 {
-				return at, true
-			}
-			if !ok || at < cycle {
-				cycle, ok = at, true
-			}
-		}
+	at, ok := s.horizons.Min()
+	if !ok {
+		return 0, false
 	}
-	return cycle, ok
+	if at <= now {
+		at = now + 1
+	}
+	return at, true
 }
 
 // effects is the sink for the shared side effects of one SM-facing
@@ -341,6 +442,19 @@ func (s *System) sendWrite(sm int, line uint64) {
 	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, s.getWrite(sm, line).start)
 }
 
+// sendReadCarrier is sendRead with the carrier already popped (the lane
+// drain's batched acquisition pass pops its carriers up front).
+func (s *System) sendReadCarrier(r *readReq, sm int, line uint64, fillL1 bool) {
+	s.initRead(r, sm, line, fillL1)
+	s.net.Send(s.net.SMPort(sm), readReqBytes, r.start)
+}
+
+// sendWriteCarrier is sendWrite with the carrier already popped.
+func (s *System) sendWriteCarrier(r *writeReq, sm int, line uint64) {
+	s.initWrite(r, sm, line)
+	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, r.start)
+}
+
 // l2Read handles a read request arriving at line's partition.
 func (s *System) l2Read(r *readReq) {
 	if s.l2[r.p].Access(r.line) {
@@ -376,10 +490,16 @@ func (s *System) enqueueDRAM(p int, r *dram.Request, retry timing.Event) {
 		return
 	}
 	s.dramQueued++
+	s.refreshHorizon(p)
 }
 
 // OutstandingStores returns SM sm's store-buffer occupancy (for tests).
 func (s *System) OutstandingStores(sm int) int { return s.storesOut[sm] }
+
+// QueuedDRAM returns the number of requests waiting in channel queues —
+// the predicate for whether a Tick (or TickStage) will actually scan.
+// The clock loop reads it for the memsys-parallel telemetry counter.
+func (s *System) QueuedDRAM() int { return s.dramQueued }
 
 // Stats sums the hierarchy's counters.
 func (s *System) Stats() stats.MemStats {

@@ -1,0 +1,152 @@
+package memsys
+
+// Differential tests for the staged DRAM tick (TickStage + TickCommit,
+// used by the parallel clock loop to overlap the channel scan with SM
+// phase 1) and for the lane drain's reference hygiene. The staged pair
+// must be indistinguishable from the classic Tick at every observation
+// point — grant timing, completion callbacks, counters and the
+// fast-forward horizon — and the heap-tracked horizon must always equal
+// a brute-force scan of the channels.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/timing"
+)
+
+func TestStagedTickMatchesSerial(t *testing.T) {
+	build := func() (*System, *timing.Wheel) {
+		cfg := config.GTX480()
+		cfg.NumSMs = 2
+		cfg.L2Partitions = 2
+		cfg.L2Size = 256 * 1024
+		w := timing.NewWheel()
+		return New(cfg, w), w
+	}
+	sa, wa := build()
+	sb, wb := build()
+	rng := rand.New(rand.NewSource(11))
+	var histA, histB []int64 // completion cycles, callback order
+	issued := 0
+	for c := int64(1); c <= 80000; c++ {
+		wa.Advance(c)
+		wb.Advance(c)
+		sa.Tick(c)
+		sb.TickStage(c)
+		sb.TickCommit()
+		if issued < 300 && rng.Intn(4) == 0 {
+			sm := rng.Intn(2)
+			// A small line pool forces row hits, row conflicts, MSHR
+			// merges and L1/L2 reuse on top of cold misses.
+			line := uint64(rng.Intn(256)) << 7
+			switch rng.Intn(4) {
+			case 0, 1:
+				okA := sa.LoadLine(sm, line, func(at int64) { histA = append(histA, at) })
+				okB := sb.LoadLine(sm, line, func(at int64) { histB = append(histB, at) })
+				if okA != okB {
+					t.Fatalf("cycle %d: load accept diverged (%v vs %v)", c, okA, okB)
+				}
+			case 2:
+				if okA, okB := sa.StoreLine(sm, line), sb.StoreLine(sm, line); okA != okB {
+					t.Fatalf("cycle %d: store accept diverged", c)
+				}
+			default:
+				okA := sa.AtomicLine(sm, line, func(at int64) { histA = append(histA, at) })
+				okB := sb.AtomicLine(sm, line, func(at int64) { histB = append(histB, at) })
+				if okA != okB {
+					t.Fatalf("cycle %d: atomic accept diverged", c)
+				}
+			}
+			issued++
+		}
+		na, oka := sa.NextEvent(c)
+		nb, okb := sb.NextEvent(c)
+		if na != nb || oka != okb {
+			t.Fatalf("cycle %d: NextEvent diverged: (%d,%v) vs (%d,%v)", c, na, oka, nb, okb)
+		}
+		// The WakeHeap-folded horizon must equal a brute-force scan of
+		// every channel (the pre-heap implementation).
+		bf, okbf := int64(0), false
+		for _, ch := range sb.chans {
+			if at, ok := ch.NextEvent(c); ok && (!okbf || at < bf) {
+				bf, okbf = at, true
+			}
+		}
+		if okb != okbf || (okb && nb != bf) {
+			t.Fatalf("cycle %d: heap horizon (%d,%v) != brute force (%d,%v)", c, nb, okb, bf, okbf)
+		}
+	}
+	if issued < 300 {
+		t.Fatalf("budget too small: issued only %d transactions", issued)
+	}
+	if len(histA) != len(histB) {
+		t.Fatalf("completions: %d vs %d", len(histA), len(histB))
+	}
+	for i := range histA {
+		if histA[i] != histB[i] {
+			t.Fatalf("completion %d: cycle %d vs %d", i, histA[i], histB[i])
+		}
+	}
+	if sa.Stats() != sb.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", sa.Stats(), sb.Stats())
+	}
+}
+
+// TestLaneDrainClearsReferences pins the fix for the op-buffer retention
+// leak: the lane reuses its ops backing array across phases, so every
+// drained slot — singleton schedules, batched runs, pre-popped carrier
+// slots and the fns scratch — must drop its closure/carrier reference,
+// or the warp state those closures capture stays reachable for the rest
+// of the run.
+func TestLaneDrainClearsReferences(t *testing.T) {
+	cfg := config.GTX480()
+	cfg.NumSMs = 1
+	cfg.L2Partitions = 2
+	cfg.L2Size = 256 * 1024
+	w := timing.NewWheel()
+	s := New(cfg, w)
+	l := s.NewLane(0)
+
+	// A batchable run of three, a singleton at another delay, and a
+	// load + store for the carrier paths.
+	for i := 0; i < 3; i++ {
+		l.ScheduleAfter(4, func(int64) {})
+	}
+	l.ScheduleAfter(9, func(int64) {})
+	if !l.LoadLine(0x111<<7, func(int64) {}) {
+		t.Fatal("staged load refused")
+	}
+	if !l.StoreLine(0x222 << 7) {
+		t.Fatal("staged store refused")
+	}
+	n := l.Pending()
+	if n < 6 {
+		t.Fatalf("staged only %d ops", n)
+	}
+	l.Drain()
+	if l.Pending() != 0 {
+		t.Fatalf("lane still holds %d ops after drain", l.Pending())
+	}
+	for i, op := range l.ops[:n] {
+		if op.fn != nil {
+			t.Errorf("op slot %d keeps its callback after drain", i)
+		}
+	}
+	for i, fn := range l.fns[:cap(l.fns)] {
+		if fn != nil {
+			t.Errorf("fns scratch slot %d keeps a callback", i)
+		}
+	}
+	for i, r := range l.reads[:cap(l.reads)] {
+		if r != nil {
+			t.Errorf("reads scratch slot %d keeps a carrier", i)
+		}
+	}
+	for i, wr := range l.writes[:cap(l.writes)] {
+		if wr != nil {
+			t.Errorf("writes scratch slot %d keeps a carrier", i)
+		}
+	}
+}

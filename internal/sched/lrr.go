@@ -37,21 +37,14 @@ func (s *LRR) Name() string { return "LRR" }
 func (s *LRR) OrderGen(slot int, _ int64) uint64 { return s.gens[slot] }
 
 // Order implements engine.Scheduler: all live warps of slot, starting
-// just after the last issued warp's slot.
+// just after the last issued warp's slot. The rotated scan runs on the
+// SM's packed live-warp bitmask (64 slots per word) via ScanLive.
 func (s *LRR) Order(slot int, dst []*engine.Warp, _ int64) []*engine.Warp {
-	slots := s.sm.WarpSlots
-	n := len(slots)
+	n := len(s.sm.WarpSlots)
 	if n == 0 {
 		return dst
 	}
-	start := (s.last[slot] + 1) % n
-	for i := 0; i < n; i++ {
-		w := slots[(start+i)%n]
-		if w != nil && w.SchedSlot == slot {
-			dst = append(dst, w)
-		}
-	}
-	return dst
+	return s.sm.ScanLive(slot, (s.last[slot]+1)%n, dst)
 }
 
 // OnIssue implements engine.Scheduler.

@@ -43,11 +43,7 @@ func (s *CAWSLite) Name() string { return "CAWS-lite" }
 // least-progressed warp is the critical one), ties by slot for
 // determinism.
 func (s *CAWSLite) Order(slot int, dst []*engine.Warp, _ int64) []*engine.Warp {
-	for _, w := range s.sm.WarpSlots {
-		if w != nil && w.SchedSlot == slot && !w.Finished() {
-			dst = append(dst, w)
-		}
-	}
+	dst = s.sm.ScanLive(slot, 0, dst)
 	sort.SliceStable(dst, func(i, j int) bool {
 		if dst[i].Progress != dst[j].Progress {
 			return dst[i].Progress < dst[j].Progress

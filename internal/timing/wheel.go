@@ -79,6 +79,31 @@ func (w *Wheel) ScheduleAfter(delay int64, fn Event) {
 	w.Schedule(w.now+delay, fn)
 }
 
+// ScheduleBatch registers every event in fns to fire at cycle at,
+// equivalent to calling Schedule(at, fn) for each element in slice
+// order but with one bucket append for the whole run. The staged-lane
+// drain uses it to commit a run of same-cycle events as a single slab
+// copy instead of len(fns) individual appends; because the events land
+// in the bucket in slice order, FIFO dispatch order — and therefore
+// simulation results — are identical to the sequential calls.
+func (w *Wheel) ScheduleBatch(at int64, fns []Event) {
+	if len(fns) == 0 {
+		return
+	}
+	if at <= w.now {
+		panic("timing: event scheduled at or before current cycle")
+	}
+	w.pending += len(fns)
+	if at-w.now < Horizon {
+		idx := at % Horizon
+		w.buckets[idx] = append(w.buckets[idx], fns...)
+		return
+	}
+	for _, fn := range fns {
+		w.overflow = append(w.overflow, deferred{at: at, fn: fn})
+	}
+}
+
 // NextEvent returns the cycle of the earliest pending event, or ok=false
 // when nothing is scheduled. The ring is walked outward from Now, so the
 // scan cost is proportional to the distance to the next event, and the

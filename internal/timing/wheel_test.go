@@ -148,6 +148,67 @@ func TestScheduleAfter(t *testing.T) {
 	}
 }
 
+// TestScheduleBatchMatchesSequential checks the batched-commit
+// contract: one ScheduleBatch call must be indistinguishable from the
+// same Schedule calls made one by one in slice order — same FIFO
+// dispatch order, same Pending count — across in-ring targets, the
+// horizon boundary and the overflow path, with singleton events
+// interleaved into the same buckets.
+func TestScheduleBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a, b := NewWheel(), NewWheel()
+		anchor := rng.Int63n(3 * Horizon)
+		a.Advance(anchor)
+		b.Advance(anchor)
+		var gotA, gotB []int
+		id := 0
+		for step := 0; step < 20; step++ {
+			var d int64
+			switch rng.Intn(3) {
+			case 0:
+				d = 1 + rng.Int63n(16) // imminent
+			case 1:
+				d = 1 + rng.Int63n(Horizon-1) // anywhere in the ring
+			default:
+				d = Horizon + rng.Int63n(3*Horizon) // overflow path
+			}
+			at := anchor + d
+			fns := make([]Event, rng.Intn(5))
+			for i := range fns {
+				k := id
+				id++
+				fns[i] = func(int64) { gotA = append(gotA, k) }
+				b.Schedule(at, func(int64) { gotB = append(gotB, k) })
+			}
+			a.ScheduleBatch(at, fns)
+			// A singleton on both wheels, so batches land in buckets that
+			// already hold (and later receive) individual events.
+			k := id
+			id++
+			a.Schedule(at, func(int64) { gotA = append(gotA, k) })
+			b.Schedule(at, func(int64) { gotB = append(gotB, k) })
+		}
+		if a.Pending() != b.Pending() {
+			t.Fatalf("trial %d: Pending %d vs %d", trial, a.Pending(), b.Pending())
+		}
+		end := anchor + 7*Horizon
+		a.Advance(end)
+		b.Advance(end)
+		if a.Pending() != 0 || b.Pending() != 0 {
+			t.Fatalf("trial %d: events left pending", trial)
+		}
+		if len(gotA) != len(gotB) {
+			t.Fatalf("trial %d: fired %d vs %d", trial, len(gotA), len(gotB))
+		}
+		for i := range gotA {
+			if gotA[i] != gotB[i] {
+				t.Fatalf("trial %d: fire order diverged at %d: %v vs %v", trial, i, gotA, gotB)
+			}
+		}
+	}
+}
+
 // TestNextEventReportsEarliestPending checks the fast-forward contract:
 // NextEvent must return exactly the earliest pending cycle — never later
 // (the jump would skip a due event) and never earlier (the loop would

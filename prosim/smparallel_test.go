@@ -17,7 +17,9 @@ import (
 )
 
 // runJSON simulates one configuration and returns the canonical JSON.
-func runJSON(t *testing.T, kernel, sched string, workers int, opts prosim.Options) string {
+// mod, when non-nil, adjusts the execution knobs after the worker count
+// is applied (used to isolate one commit-pipeline layer at a time).
+func runJSON(t *testing.T, kernel, sched string, workers int, opts prosim.Options, mod func(*prosim.Config)) string {
 	t.Helper()
 	w, err := prosim.WorkloadByKernel(kernel)
 	if err != nil {
@@ -32,6 +34,9 @@ func runJSON(t *testing.T, kernel, sched string, workers int, opts prosim.Option
 		// mode would resolve to the serial loop.
 		cfg.ParallelSMs = workers
 	}
+	if mod != nil {
+		mod(cfg)
+	}
 	r, err := prosim.Run(cfg, w.Launch, sched, opts)
 	if err != nil {
 		t.Fatalf("%s/%s workers=%d: %v", kernel, sched, workers, err)
@@ -43,11 +48,34 @@ func runJSON(t *testing.T, kernel, sched string, workers int, opts prosim.Option
 	return string(data)
 }
 
+// smVariants isolates the layers of the parallel commit pipeline. The
+// single-layer rows pin the adaptive controller off so every eligible
+// iteration actually stages (the controller could otherwise legally run
+// stretches serial and dilute coverage); the full row keeps it on, so
+// serial/parallel flips and probe windows are themselves under the
+// byte-identity oracle.
+var smVariants = []struct {
+	name string
+	mod  func(*prosim.Config)
+}{
+	{"full", nil},
+	{"batched-commit-only", func(cfg *prosim.Config) {
+		cfg.DisableMemsysParallel = true
+		cfg.DisableAdaptiveFanout = true
+	}},
+	{"memsys-parallel-only", func(cfg *prosim.Config) {
+		cfg.DisableCommitBatch = true
+		cfg.DisableAdaptiveFanout = true
+	}},
+}
+
 // TestParallelSMDifferential sweeps every registered scheduler on two
 // kernels with different TB-churn and memory profiles: parallel ticking
-// with 4 workers must reproduce the serial results byte for byte —
-// including mid-run observations (samples, timelines), which see the
-// committed state at the exact same cycles.
+// must reproduce the serial results byte for byte — including mid-run
+// observations (samples, timelines), which see the committed state at
+// the exact same cycles. Every pipeline variant runs at 4 workers; the
+// full production pipeline additionally runs at 2 and 99 workers
+// (non-dividing and larger-than-the-array counts).
 func TestParallelSMDifferential(t *testing.T) {
 	kernels := []string{"aesEncrypt128", "scalarProdGPU"}
 	opts := prosim.Options{Timeline: true, SampleEvery: 500}
@@ -56,10 +84,16 @@ func TestParallelSMDifferential(t *testing.T) {
 			k, s := k, s
 			t.Run(k+"/"+s, func(t *testing.T) {
 				t.Parallel()
-				serial := runJSON(t, k, s, 1, opts)
-				par := runJSON(t, k, s, 4, opts)
-				if par != serial {
-					t.Errorf("parallel SM ticking changed the result for %s/%s", k, s)
+				serial := runJSON(t, k, s, 1, opts, nil)
+				for _, v := range smVariants {
+					if got := runJSON(t, k, s, 4, opts, v.mod); got != serial {
+						t.Errorf("%s/%s: variant %s diverged from serial", k, s, v.name)
+					}
+				}
+				for _, workers := range []int{2, 99} {
+					if got := runJSON(t, k, s, workers, opts, nil); got != serial {
+						t.Errorf("%s/%s: workers=%d diverged from serial", k, s, workers)
+					}
 				}
 			})
 		}
@@ -85,9 +119,9 @@ func TestParallelSMWorkerCountChaos(t *testing.T) {
 		c := c
 		t.Run(c.kernel+"/"+c.sched, func(t *testing.T) {
 			t.Parallel()
-			serial := runJSON(t, c.kernel, c.sched, 1, prosim.Options{})
+			serial := runJSON(t, c.kernel, c.sched, 1, prosim.Options{}, nil)
 			for _, workers := range []int{2, 3, 5, 14, 99} {
-				if got := runJSON(t, c.kernel, c.sched, workers, prosim.Options{}); got != serial {
+				if got := runJSON(t, c.kernel, c.sched, workers, prosim.Options{}, nil); got != serial {
 					t.Errorf("%s/%s: workers=%d diverged from serial", c.kernel, c.sched, workers)
 				}
 			}
