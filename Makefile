@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest tenanttest benchdiff benchdiff-write baseline check bench benchquick profile report papercheck
+.PHONY: build test vet race fastpath fastforwardtest smparalleltest benchbuild daemontest obstest clustertest tenanttest flighttest benchdiff benchdiff-write baseline check bench benchquick profile report papercheck
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,15 @@ obstest:
 tenanttest:
 	$(GO) test -race -count=1 -run 'TestLeaderDisconnect|TestFullQueue|TestOversizeBatch|TestBulkFlood|TestTenant|TestLargeBatchBounded|TestTwoDaemonsSharedL2|TestStatsAndHealthReject|TestListenRefuses|TestClientSurfacesOverload|TestDispatcherWeighted|TestStatsWireCompat|TestTiered|TestStoreHandler' ./internal/daemon ./internal/resultcache
 
+# The flight-recorder gate under the race detector, re-run every time:
+# the bit-identity differential (recorder on vs off for every
+# scheduler, serial and parallel SM ticking), the disabled-path
+# zero-allocation pin, the cache-key kill switch, the ring/sampling
+# unit tests and the structural validation of the Perfetto and NDJSON
+# exports.
+flighttest:
+	$(GO) test -race -count=1 -run 'TestFlight|TestPerfetto' ./internal/flight ./internal/gpu ./internal/engine ./internal/jobs ./cmd/flight
+
 # The sweep cluster under the race detector, re-run every time: the
 # acceptance test spins up three in-process daemons sharing a cache,
 # kills one mid-batch and asserts the assembled suite is byte-identical
@@ -87,7 +96,7 @@ benchdiff-write:
 
 baseline: bench benchdiff-write
 
-check: vet race fastpath fastforwardtest smparalleltest daemontest obstest clustertest tenanttest benchbuild
+check: vet race fastpath fastforwardtest smparalleltest daemontest obstest clustertest tenanttest flighttest benchbuild
 	-$(MAKE) benchdiff
 
 # Statistically meaningful bench run for before/after comparisons:

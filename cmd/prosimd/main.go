@@ -73,6 +73,8 @@ func main() {
 		"per-operation budget for the remote cache tier (0 = 250ms)")
 	serveCache := flag.Bool("serve-cache", false,
 		"serve the local result cache as an HTTP object store under /cache/ (peers point -cache-remote here)")
+	flightOut := flag.String("flight-out", "",
+		"flight-recorder directory: every simulated job writes a Perfetto capture <cache-key>.trace.json there (cache hits record nothing)")
 	quiet := flag.Bool("quiet", false, "suppress lifecycle logging (same as -log-level error)")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
@@ -97,6 +99,7 @@ func main() {
 		CacheRemote:        *cacheRemote,
 		CacheRemoteTimeout: *cacheRemoteTimeout,
 		ServeCache:         *serveCache,
+		FlightDir:          *flightOut,
 		Log:                log,
 	}
 	if *tokensFile != "" {

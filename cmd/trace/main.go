@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/flight"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/workloads"
@@ -30,6 +31,8 @@ func main() {
 	njobs := flag.Int("jobs", 1, "parallel simulation workers (a trace is one job)")
 	smWorkers := flag.Int("sm-workers", 0, "SM-tick workers inside the simulation (0 = auto: spare cores; 1 = serial; results identical either way)")
 	cacheDir := flag.String("cache", "", "result-cache directory (optional)")
+	flightOut := flag.String("flight-out", "",
+		"write the run's flight-recorder capture as Perfetto trace-event JSON to this file (a cache-served run records nothing; a warning is printed)")
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 
@@ -50,14 +53,37 @@ func main() {
 		fatal(err)
 	}
 	eng.SMWorkers = *smWorkers
+	opts := prosim.Options{SampleEvery: *every}
+	var rec *flight.Recorder
+	if *flightOut != "" {
+		rec = flight.New(flight.Options{})
+		opts.Flight = rec
+	}
 	r, err := eng.RunOne(context.Background(), jobs.Job{
 		Launch:    w.Launch,
 		Kernel:    w.Kernel,
 		Scheduler: *sched,
-		Options:   prosim.Options{SampleEvery: *every},
+		Options:   opts,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if rec != nil {
+		if !rec.Recorded() {
+			fmt.Fprintf(os.Stderr, "trace: -flight-out: result served from the cache, nothing recorded (clear %s or change -cache)\n", *cacheDir)
+		} else {
+			f, err := os.Create(*flightOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.Capture().WritePerfetto(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: flight capture written to %s\n", *flightOut)
+		}
 	}
 	fmt.Println("cycle,ipc,issued,idle,scoreboard,pipeline,resident_tbs,pending_tbs")
 	for _, s := range r.Samples {

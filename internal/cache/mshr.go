@@ -120,3 +120,13 @@ func (m *MSHR) Pending(line uint64) bool {
 	_, found := m.entries[line]
 	return found
 }
+
+// Waiters returns how many requests line's live entry is tracking
+// (including the allocating one), or 0 when no entry is in flight. The
+// flight recorder reads it just before a Fill to attribute merge waits.
+func (m *MSHR) Waiters(line uint64) int {
+	if e, found := m.entries[line]; found {
+		return len(e.waiters)
+	}
+	return 0
+}

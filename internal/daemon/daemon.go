@@ -173,6 +173,10 @@ type Config struct {
 	// ServeCache mounts the disk cache as an HTTP object store under
 	// /cache/, so peer daemons can use this one as their L2.
 	ServeCache bool
+	// FlightDir, when non-empty, attaches a flight recorder to every
+	// simulated job and writes its Perfetto capture artifact there,
+	// named by the job's result-cache key (see jobs.Engine.FlightDir).
+	FlightDir string
 	// Log, when non-nil, receives structured lifecycle events (batch
 	// accepted/finished, shutdown progress); nil logs nothing.
 	Log *slog.Logger
@@ -262,6 +266,7 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	eng.Trace = cfg.Trace
 	eng.SMWorkers = cfg.SMWorkers
+	eng.FlightDir = cfg.FlightDir
 	log := cfg.Log
 	if log == nil {
 		log = obs.Discard()

@@ -66,6 +66,11 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 		"sim_fanout_decisions_total",
 		"sim_lane_batch_size",
 		"sim_memsys_par_ticks_total",
+		"sim_flight_runs_total",
+		"sim_flight_events_total",
+		"sim_flight_spans_total",
+		"sim_flight_event_ring_occupancy_pct",
+		"sim_flight_span_ring_occupancy_pct",
 	} {
 		if !strings.Contains(text, family) {
 			t.Errorf("/metrics missing family %s", family)
@@ -79,6 +84,11 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 	for _, series := range []string{
 		`sim_fanout_decisions_total{mode="parallel"}`,
 		`sim_fanout_decisions_total{mode="serial"}`,
+		// The flight-recorder attribution histograms are pre-registered
+		// per component at package init, so dashboards see the full label
+		// set from daemon start even before any recorded run.
+		`sim_flight_attr_cycles_bucket{component="dram_queue"`,
+		`sim_flight_attr_cycles_bucket{component="total"`,
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("/metrics missing series %s", series)

@@ -11,6 +11,8 @@
 // below bank parallelism for the line sizes involved.
 package dram
 
+import "repro/internal/flight"
+
 // Request is one line-sized DRAM transaction.
 type Request struct {
 	// Line is the line-aligned address.
@@ -19,6 +21,13 @@ type Request struct {
 	Write bool
 	// Done is invoked at service completion; may be nil for writes.
 	Done func(cycle int64)
+
+	// Span, when non-nil, is the flight recorder's lifecycle span for
+	// this transaction; Tick stamps the grant cycle and row-hit outcome
+	// onto it. The stamp happens in the same synchronization domain as
+	// the granted request itself (the staged scan publishes both through
+	// one barrier), so it is race-free under the overlapped DRAM scan.
+	Span *flight.MemSpan
 
 	arrival int64
 	bank    int
@@ -186,6 +195,10 @@ func (c *Channel) Tick(cycle int64) (granted *Request, doneAt int64) {
 	if bestHit {
 		service = c.rowHit
 		c.RowHits++
+	}
+	if r.Span != nil {
+		r.Span.Grant = cycle
+		r.Span.RowHit = bestHit
 	}
 	c.openRow[r.bank] = r.row
 	c.rowValid[r.bank] = true

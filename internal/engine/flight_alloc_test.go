@@ -1,0 +1,71 @@
+package engine_test
+
+// The flight recorder's contract when it is NOT attached: zero cost.
+// Every hook site in the SM reduces to one nil check, so a steady-state
+// cycle with the recorder absent must stay allocation-free exactly like
+// the bare issue loop pinned by alloc_test.go — including on a kernel
+// that exercises the memory-side hook sites (traceRead/traceWrite in
+// the memsys are nil-guarded the same way).
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/sched"
+	"repro/internal/timing"
+)
+
+// flightSteadyProg loops ALU work with a periodic coalesced load, so
+// the measured window crosses the issue hooks, the stall-classification
+// hooks and the memsys span hooks — all with the recorder disabled.
+func flightSteadyProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("flight-alloc-steady")
+	b.Loop(isa.LoopSpec{Min: 1 << 20, Max: 1 << 20})
+	b.IAdd(1, 0, 0)
+	b.LdGlobal(2, isa.MemSpec{Pattern: isa.PatCoalesced, IterVaries: true})
+	b.IAdd(2, 0, 0)
+	b.EndLoop()
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFlightDisabledPathDoesNotAllocate(t *testing.T) {
+	cfg := config.GTX480()
+	prog := flightSteadyProg(t)
+	wheel := timing.NewWheel()
+	mem := memsys.New(cfg, wheel)
+	launch := &engine.Launch{Program: prog, GridTBs: 1, BlockThreads: 256, Seed: 1}
+	if err := launch.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// No SetFlight call: sm.fl and the memsys trace stay nil, which is
+	// the production default.
+	sm := engine.NewSM(0, cfg, wheel, mem, launch, sched.NewGTO)
+	sm.AssignTB(0, 0)
+
+	cycle := int64(0)
+	step := func() {
+		cycle++
+		wheel.Advance(cycle)
+		mem.Tick(cycle)
+		sm.Tick(cycle)
+	}
+	for i := 0; i < timing.Horizon+512; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(400, step)
+	if sm.Done() {
+		t.Fatal("kernel finished during measurement; not steady state")
+	}
+	if avg > 0.05 {
+		t.Fatalf("steady-state cycle allocates %.3f objs/op with the flight recorder disabled; want 0", avg)
+	}
+}

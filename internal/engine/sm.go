@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/flight"
 	"repro/internal/isa"
 	"repro/internal/memsys"
 	"repro/internal/stats"
@@ -139,6 +140,22 @@ type SM struct {
 	// wheel callbacks, StallTotal) runs on the coordinator goroutine
 	// with the lane unset and keeps direct wheel/memsys access.
 	lane *memsys.Lane
+
+	// fl, when non-nil, is the flight recorder's per-SM trace. Every
+	// hook is behind a single nil check and only reads SM state; under
+	// parallel ticking the trace is written exclusively by this SM's
+	// goroutine (phase 1) or the coordinator (between phases), never
+	// both at once — the same single-writer discipline as the rest of
+	// the SM.
+	fl *flight.SMTrace
+}
+
+// SetFlight attaches (or, with nil, detaches) a flight-recorder trace.
+func (sm *SM) SetFlight(t *flight.SMTrace) {
+	sm.fl = t
+	if t != nil {
+		t.Size(len(sm.WarpSlots), sm.Cfg.SchedulersPerSM)
+	}
 }
 
 // slotGate caches the contiguous gated prefix of a scheduler slot's
@@ -283,6 +300,9 @@ func (sm *SM) AssignTB(global int, cycle int64) *ThreadBlock {
 	sm.TBSlots[slot] = tb
 	sm.residentTBs++
 	sm.Sched.OnTBAssign(tb, cycle)
+	if sm.fl != nil {
+		sm.fl.OnTBStart(cycle, tb.Global, slot)
+	}
 	sm.gateEpoch++
 	sm.wakeEvent()
 	return tb
@@ -399,6 +419,9 @@ func (sm *SM) Tick(cycle int64) {
 	for slot := 0; slot < sm.Cfg.SchedulersPerSM; slot++ {
 		out := sm.tickSlot(slot, cycle)
 		sm.slotClass[slot] = out
+		if sm.fl != nil {
+			sm.fl.OnSlotOutcome(cycle, slot, uint8(out))
+		}
 		if out == outIssued || out == outPipeline {
 			canSleep = false
 		}
@@ -723,6 +746,13 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 			oc.gen = gen
 			oc.valid = true
 			order = oc.order
+			if sm.fl != nil {
+				// A generation bump on a cacher policy is a real
+				// re-sort (PRO's THRESHOLD cadence, barrier/retire
+				// invalidations); non-cachers rebuild every cycle, so
+				// only this path is a meaningful event.
+				sm.fl.OnResort(cycle, slot, gen)
+			}
 		}
 	} else {
 		order = compactOrder(sm.Sched.Order(slot, sm.orderBuf[:0], cycle), slot)
@@ -783,6 +813,9 @@ func (sm *SM) tickSlot(slot int, cycle int64) slotOutcome {
 			// neverWake and its resolution zeroes the gate.
 			anyValid = true
 			w.gate, w.gateInstr = w.readyAt(in), true
+			if sm.fl != nil {
+				sm.fl.OnWarpStall(cycle, w.Slot, w.TB.Global, w.gate)
+			}
 			if w.gate < minGate {
 				minGate = w.gate
 			}
@@ -947,6 +980,9 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 	w.Issued++
 	sm.WarpInstrs++
 	sm.ThreadInstrs += int64(lanes)
+	if sm.fl != nil {
+		sm.fl.OnIssue(cycle, w.SchedSlot, w.Slot, tb.Global, w.Progress, int64(pc))
+	}
 
 	w.ibuf--
 	if w.ibuf == 0 && !w.finished {
@@ -964,6 +1000,9 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 			tb.barrierStart = cycle
 		}
 		sm.Sched.OnBarrierArrive(w, cycle)
+		if sm.fl != nil {
+			sm.fl.OnBarrier(cycle, w.Slot, tb.Global)
+		}
 		if tb.barrierComplete() {
 			for _, sib := range tb.Warps {
 				sib.atBar = false
@@ -984,6 +1023,9 @@ func (sm *SM) tryIssue(w *Warp, in *isa.Instr, cycle int64) bool {
 		w.stack = w.stack[:0]
 		tb.WarpsFinished++
 		sm.Sched.OnWarpFinish(w, cycle)
+		if sm.fl != nil {
+			sm.fl.OnWarpFinish(cycle, w.Slot, tb.Global, w.Progress, w.SpawnCycle)
+		}
 		if tb.Done() {
 			sm.retireTB(tb, cycle)
 		}
@@ -1013,6 +1055,9 @@ func (sm *SM) retireTB(tb *ThreadBlock, cycle int64) {
 	sm.TBSlots[tb.Slot] = nil
 	sm.residentTBs--
 	sm.Sched.OnTBRetire(tb, cycle)
+	if sm.fl != nil {
+		sm.fl.OnTBFinish(cycle, tb.Global, tb.Progress)
+	}
 	if sm.OnTBRetireFn != nil {
 		sm.OnTBRetireFn(tb, cycle)
 	}

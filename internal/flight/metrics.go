@@ -1,0 +1,89 @@
+package flight
+
+import "repro/internal/obs"
+
+// sim_flight_* metric families. Registered at package init so the
+// daemon's /metrics endpoint exposes the series (with TYPE/HELP) before
+// the first recorded run; flushed by Recorder.FinishRun.
+var (
+	mRuns = obs.NewCounter("sim_flight_runs_total",
+		"Simulation runs captured by the flight recorder.")
+	mEvents = obs.NewCounter("sim_flight_events_total",
+		"Warp/scheduler events captured (retained + overwritten).")
+	mEventsDropped = obs.NewCounter("sim_flight_events_dropped_total",
+		"Events overwritten by ring wrap-around (oldest-first).")
+	mSpans = obs.NewCounter("sim_flight_spans_total",
+		"Memory-request lifecycle spans committed.")
+	mSpansDropped = obs.NewCounter("sim_flight_spans_dropped_total",
+		"Memory spans overwritten by ring wrap-around.")
+	mEventRingOcc = obs.NewGauge("sim_flight_event_ring_occupancy_pct",
+		"Event-ring occupancy after the last captured run (percent, max over SMs).")
+	mSpanRingOcc = obs.NewGauge("sim_flight_span_ring_occupancy_pct",
+		"Span-ring occupancy after the last captured run (percent).")
+)
+
+// attrBuckets are cycle-latency buckets for the attribution histograms:
+// L2 hits land in the low buckets, DRAM row misses in the hundreds.
+var attrBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+var attrHists = map[string]*obs.Histogram{
+	"icnt_req":     newAttrHist("icnt_req"),
+	"l2_service":   newAttrHist("l2_service"),
+	"l2_mshr":      newAttrHist("l2_mshr"),
+	"dram_queue":   newAttrHist("dram_queue"),
+	"dram_service": newAttrHist("dram_service"),
+	"icnt_resp":    newAttrHist("icnt_resp"),
+	"total":        newAttrHist("total"),
+}
+
+func newAttrHist(component string) *obs.Histogram {
+	return obs.NewHistogram(
+		obs.Labeled("sim_flight_attr_cycles", "component", component),
+		"Memory-latency attribution per lifecycle component, in cycles.",
+		attrBuckets)
+}
+
+// flushMetrics publishes one finished run's counts into the families.
+func (r *Recorder) flushMetrics() {
+	mRuns.Inc()
+	captured, dropped := r.eventCounts()
+	mEvents.Add(captured)
+	mEventsDropped.Add(dropped)
+	mSpans.Add(r.mem.count)
+	mSpansDropped.Add(r.mem.overwritten)
+
+	occ := int64(0)
+	for _, t := range r.sms {
+		if cap(t.ring) == 0 {
+			continue
+		}
+		if p := int64(len(t.ring)) * 100 / int64(cap(t.ring)); p > occ {
+			occ = p
+		}
+	}
+	mEventRingOcc.Set(occ)
+	if cap(r.mem.ring) > 0 {
+		mSpanRingOcc.Set(int64(len(r.mem.ring)) * 100 / int64(cap(r.mem.ring)))
+	} else {
+		mSpanRingOcc.Set(0)
+	}
+
+	for _, sp := range r.mem.spans() {
+		c := sp.Components()
+		observeNonZero("icnt_req", c.ICNTReq)
+		observeNonZero("l2_service", c.L2Service)
+		observeNonZero("l2_mshr", c.L2MSHR)
+		observeNonZero("dram_queue", c.DRAMQueue)
+		observeNonZero("dram_service", c.DRAMService)
+		observeNonZero("icnt_resp", c.ICNTResp)
+		attrHists["total"].Observe(float64(c.Total))
+	}
+}
+
+// observeNonZero skips components a span never reached (an L2 hit has
+// no DRAM legs) so the histogram means stay per-component-conditional.
+func observeNonZero(component string, v int64) {
+	if v > 0 {
+		attrHists[component].Observe(float64(v))
+	}
+}

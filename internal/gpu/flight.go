@@ -1,0 +1,35 @@
+package gpu
+
+import (
+	"sync/atomic"
+
+	"repro/internal/flight"
+)
+
+// flSink pairs the process-wide flight-capture listener with the
+// recorder options each run should use, so both swap atomically —
+// the same discipline as hbConfig.
+type flSink struct {
+	fn   func(*flight.Capture)
+	opts flight.Options
+}
+
+var flState atomic.Pointer[flSink]
+
+// SetFlightSink registers fn as the process-wide flight-recorder sink:
+// every simulation that starts while it is registered (and does not
+// carry its own Options.Flight recorder) records with opts and delivers
+// its capture to fn at completion; fn nil unregisters. Runs already in
+// flight keep the sink they started with — the loop loads it once, like
+// the heartbeat listener. fn may be called concurrently from
+// independent simulations and must not block; it receives a frozen
+// capture and can never mutate simulation state, so results remain
+// bit-identical with or without a sink (asserted by
+// TestFlightRecorderDoesNotAlterResults).
+func SetFlightSink(fn func(*flight.Capture), opts flight.Options) {
+	if fn == nil {
+		flState.Store(nil)
+		return
+	}
+	flState.Store(&flSink{fn: fn, opts: opts})
+}

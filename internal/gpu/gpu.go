@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/memsys"
 	"repro/internal/stats"
 	"repro/internal/timing"
@@ -27,6 +28,14 @@ type Options struct {
 	// StallWindow aborts when no SM issues for this many consecutive
 	// cycles (deadlock watchdog); 0 means the default.
 	StallWindow int64
+	// Flight, when non-nil, attaches a flight recorder to the run
+	// (per-warp progress timelines, memory-request lifecycle spans,
+	// scheduler-decision events — see internal/flight). The recorder
+	// only reads simulation state, so results are byte-identical with
+	// or without it, and the json:"-" tag keeps it out of result-cache
+	// keys — an execution-observability switch, never cache identity.
+	// A recorder captures exactly one run.
+	Flight *flight.Recorder `json:"-"`
 }
 
 const (
@@ -136,6 +145,24 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		sms[i] = sm
 	}
 	res.Scheduler = sms[0].Sched.Name()
+
+	// Flight recorder: an explicit Options.Flight recorder wins;
+	// otherwise the process-wide sink (if armed at run start — loaded
+	// once, like the heartbeat) builds a per-run recorder and receives
+	// the capture at completion. With neither, every instrumented site
+	// pays a single nil check and the run is observably identical.
+	rec := opts.Flight
+	sink := flState.Load()
+	if rec == nil && sink != nil {
+		rec = flight.New(sink.opts)
+	}
+	if rec != nil {
+		rec.Start(cfg.NumSMs)
+		for i, sm := range sms {
+			sm.SetFlight(rec.SM(i))
+		}
+		mem.SetFlight(rec.Mem())
+	}
 
 	// drainRetires delivers staged retire notifications in SM-ID order
 	// — the order the serial loop's in-tick callbacks fire in.
@@ -549,5 +576,11 @@ func RunContext(ctx context.Context, cfg *config.Config, launch *engine.Launch, 
 		res.OrderTrace = tr.OrderSamples()
 	}
 	stats.SortSpansByStart(res.Timeline)
+	if rec != nil {
+		rec.FinishRun(res.Kernel, res.Scheduler, res.Cycles, res.Stalls)
+		if opts.Flight == nil && sink != nil {
+			sink.fn(rec.Capture())
+		}
+	}
 	return res, nil
 }

@@ -65,8 +65,10 @@ func (n *Network) NextEvent(now int64) (cycle int64, ok bool) { return 0, false 
 
 // Send injects a packet of bytes at port, delivering deliver(cycle) after
 // serialization plus traversal latency. Injection begins at the port's
-// next free cycle (at least the next cycle).
-func (n *Network) Send(port int, bytes int, deliver func(cycle int64)) {
+// next free cycle (at least the next cycle). The returned cycle is when
+// deliver will fire — observability callers (the flight recorder) use it
+// to bound a packet's network leg; timing callers may ignore it.
+func (n *Network) Send(port int, bytes int, deliver func(cycle int64)) (deliverAt int64) {
 	now := n.wheel.Now()
 	start := now + 1
 	if n.portFree[port] > start {
@@ -79,5 +81,7 @@ func (n *Network) Send(port int, bytes int, deliver func(cycle int64)) {
 	n.portFree[port] = start + ser
 	n.Packets++
 	n.Bytes += int64(bytes)
-	n.wheel.Schedule(start+ser+n.latency, deliver)
+	at := start + ser + n.latency
+	n.wheel.Schedule(at, deliver)
+	return at
 }

@@ -18,8 +18,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,6 +30,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/gpu"
 	"repro/internal/obs"
 	"repro/internal/resultcache"
@@ -174,6 +178,17 @@ type Engine struct {
 	// of every job this engine processes (submit, then done with the
 	// outcome). A nil tracer costs one pointer check per job.
 	Trace *obs.Tracer
+	// FlightDir, when non-empty, attaches a flight recorder to every
+	// simulated (non-cached) job and writes its Perfetto trace as
+	// <key>.trace.json in that directory — the per-job capture artifact
+	// next to the result-cache entry. Like every execution knob it never
+	// enters cache keys (gpu.Options.Flight is json:"-"), so recorded
+	// and unrecorded runs share identity. Cache hits record nothing: a
+	// replayed result never executed, so there is no flight to record.
+	FlightDir string
+	// FlightOpts tune the recorders FlightDir creates (zero value =
+	// flight defaults).
+	FlightOpts flight.Options
 
 	// Engine-lifetime counters, summed over every batch this engine ran
 	// (a harness typically runs several: the main suite, timelines,
@@ -463,11 +478,33 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 		}
 	}
 
+	// Flight capture: attach a per-job recorder when the engine has a
+	// capture directory and the job doesn't carry its own. The copy of
+	// Options is essential — jobs are shared batch-slice entries, and
+	// the recorder is strictly per-run.
+	opts := j.Options
+	var rec *flight.Recorder
+	if e.FlightDir != "" && opts.Flight == nil {
+		rec = flight.New(e.FlightOpts)
+		opts.Flight = rec
+	}
+
 	mBusy.Add(1)
 	defer mBusy.Add(-1)
-	r, err = gpu.RunContext(ctx, cfg, j.Launch, factory, j.Options)
+	// Worker goroutines run under pprof labels so `make profile`
+	// artifacts attribute hot paths per workload.
+	pprof.Do(ctx, pprof.Labels(
+		"kernel", j.label(), "scheduler", j.schedLabel(), "job_key", key,
+	), func(ctx context.Context) {
+		r, err = gpu.RunContext(ctx, cfg, j.Launch, factory, opts)
+	})
 	if err != nil {
 		return nil, false, err
+	}
+	if rec != nil && rec.Recorded() {
+		if werr := e.writeFlightArtifact(j, key, rec); werr != nil {
+			return nil, false, werr
+		}
 	}
 	if cacheable {
 		if err := store.Put(key, r); err != nil {
@@ -475,6 +512,34 @@ func (e *Engine) runOne(ctx context.Context, j *Job) (r *stats.KernelResult, fro
 		}
 	}
 	return r, false, nil
+}
+
+// writeFlightArtifact persists one simulated job's flight capture as
+// Perfetto trace-event JSON under FlightDir, named by the job's cache
+// key (so the artifact sits next to — and shares identity with — the
+// result-cache entry), falling back to kernel_scheduler for uncacheable
+// jobs.
+func (e *Engine) writeFlightArtifact(j *Job, key string, rec *flight.Recorder) error {
+	name := key
+	if name == "" {
+		name = j.label() + "_" + j.schedLabel()
+	}
+	if err := os.MkdirAll(e.FlightDir, 0o755); err != nil {
+		return fmt.Errorf("flight artifact: %w", err)
+	}
+	path := filepath.Join(e.FlightDir, name+".trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("flight artifact: %w", err)
+	}
+	if err := rec.Capture().WritePerfetto(f); err != nil {
+		f.Close()
+		return fmt.Errorf("flight artifact %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("flight artifact %s: %w", path, err)
+	}
+	return nil
 }
 
 // store resolves the result store job execution uses: the explicit

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dram"
+	"repro/internal/flight"
 	"repro/internal/icnt"
 	"repro/internal/stats"
 	"repro/internal/timing"
@@ -73,7 +74,19 @@ type System struct {
 	// goroutine, so no locking is needed.
 	readFree  *readReq
 	writeFree *writeReq
+
+	// fl, when non-nil, records each transaction's lifecycle span for
+	// the flight recorder. Every site that touches it — span creation in
+	// the send helpers, stage stamps in the carrier callbacks and L2
+	// handlers — runs on the coordinator goroutine (the lane drain calls
+	// the send helpers there even under parallel SM ticking), so the
+	// trace needs no locking.
+	fl *flight.MemTrace
 }
+
+// SetFlight attaches (or, with nil, detaches) the flight recorder's
+// memory-side trace.
+func (s *System) SetFlight(t *flight.MemTrace) { s.fl = t }
 
 // readReq carries one read (load/atomic) transaction through the
 // L2-access → DRAM → response chain. All callback fields close over the
@@ -87,6 +100,9 @@ type readReq struct {
 	fillL1 bool
 	dreq   dram.Request
 	next   *readReq // free-list link
+	// span, when non-nil, is this transaction's flight-recorder span;
+	// the callbacks below stamp its stage timestamps as they fire.
+	span *flight.MemSpan
 
 	start     timing.Event // request packet arrived at the partition
 	respond   timing.Event // L2 data ready: send response toward the SM
@@ -108,13 +124,36 @@ func (s *System) popRead() *readReq {
 		r.next = nil
 	} else {
 		r = &readReq{s: s}
-		r.start = func(int64) { r.s.l2Read(r) }
-		r.respond = func(int64) {
+		r.start = func(cy int64) {
+			// First partition arrival stamps the end of the request's
+			// network leg; retryL2 replays keep the original arrival so
+			// full-MSHR wait attributes to the L2/MSHR component.
+			if r.span != nil {
+				r.span.L2At = cy
+			}
+			r.s.l2Read(r)
+		}
+		r.respond = func(cy int64) {
 			sys := r.s
+			if r.span != nil {
+				r.span.Done = cy
+			}
 			sys.net.Send(sys.net.PartPort(sys.cfg.NumSMs, r.p), sys.cfg.L1Line, r.deliver)
 		}
 		r.deliver = func(cy int64) {
 			sys := r.s
+			if r.span != nil {
+				sp := r.span
+				r.span = nil
+				sp.Deliver = cy
+				// The L1 MSHR entry this fill is about to clear tracks
+				// every same-line request that merged behind this one —
+				// their whole wait is MSHR-merge wait.
+				if n := sys.l1mshr[r.sm].Waiters(r.line); n > 1 {
+					sp.Merged = int32(n - 1)
+				}
+				sys.fl.Commit(sp)
+			}
 			if r.fillL1 {
 				sys.l1[r.sm].Fill(r.line)
 			}
@@ -132,10 +171,13 @@ func (s *System) popRead() *readReq {
 	return r
 }
 
-// initRead points a pooled carrier at a concrete transaction.
+// initRead points a pooled carrier at a concrete transaction. The dreq
+// literal also clears the previous use's Span; the span pointer itself
+// is re-armed (or left nil) by traceRead.
 func (s *System) initRead(r *readReq, sm int, line uint64, fillL1 bool) {
 	r.sm, r.line, r.fillL1 = sm, line, fillL1
 	r.p = s.partition(line)
+	r.span = nil
 	r.dreq = dram.Request{Line: line, Done: r.dramDone}
 }
 
@@ -163,6 +205,7 @@ type writeReq struct {
 	p    int
 	dreq dram.Request
 	next *writeReq
+	span *flight.MemSpan
 
 	start     timing.Event // store packet arrived at the partition
 	release   timing.Event // store complete: free the buffer slot, recycle
@@ -178,9 +221,22 @@ func (s *System) popWrite() *writeReq {
 		r.next = nil
 	} else {
 		r = &writeReq{s: s}
-		r.start = func(int64) { r.s.l2Write(r) }
-		r.release = func(int64) {
+		r.start = func(cy int64) {
+			if r.span != nil {
+				r.span.L2At = cy
+			}
+			r.s.l2Write(r)
+		}
+		r.release = func(cy int64) {
 			sys := r.s
+			if r.span != nil {
+				sp := r.span
+				r.span = nil
+				// Stores are fire-and-forget: the span ends when the
+				// write completes downstream, with no response leg.
+				sp.Done, sp.Deliver = cy, cy
+				sys.fl.Commit(sp)
+			}
 			sys.storesOut[r.sm]--
 			r.next = sys.writeFree
 			sys.writeFree = r
@@ -194,6 +250,7 @@ func (s *System) popWrite() *writeReq {
 func (s *System) initWrite(r *writeReq, sm int, line uint64) {
 	r.sm, r.line = sm, line
 	r.p = s.partition(line)
+	r.span = nil
 	r.dreq = dram.Request{Line: line, Write: true, Done: r.release}
 }
 
@@ -431,33 +488,67 @@ func (s *System) storeLine(sm int, line uint64, fx effects) bool {
 	return true
 }
 
+// traceRead starts a flight span for an accepted read transaction (no-op
+// without a recorder, nil-span under sampling). Called after initRead,
+// before the network injection, so Inject and the port backlog reflect
+// the injection decision point.
+func (s *System) traceRead(r *readReq) {
+	if s.fl == nil {
+		return
+	}
+	kind := flight.SpanLoad
+	if !r.fillL1 {
+		kind = flight.SpanAtomic
+	}
+	r.span = s.fl.Start(kind, r.sm, r.p, r.line, s.wheel.Now(), s.net.Occupancy(s.net.SMPort(r.sm)))
+	r.dreq.Span = r.span
+}
+
+// traceWrite is traceRead's store-side counterpart.
+func (s *System) traceWrite(r *writeReq) {
+	if s.fl == nil {
+		return
+	}
+	r.span = s.fl.Start(flight.SpanStore, r.sm, r.p, r.line, s.wheel.Now(), s.net.Occupancy(s.net.SMPort(r.sm)))
+	r.dreq.Span = r.span
+}
+
 // sendRead injects a read-request packet; fillL1 marks whether the
 // response should allocate in the SM's L1.
 func (s *System) sendRead(sm int, line uint64, fillL1 bool) {
-	s.net.Send(s.net.SMPort(sm), readReqBytes, s.getRead(sm, line, fillL1).start)
+	r := s.getRead(sm, line, fillL1)
+	s.traceRead(r)
+	s.net.Send(s.net.SMPort(sm), readReqBytes, r.start)
 }
 
 // sendWrite injects a line-sized store data packet.
 func (s *System) sendWrite(sm int, line uint64) {
-	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, s.getWrite(sm, line).start)
+	r := s.getWrite(sm, line)
+	s.traceWrite(r)
+	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, r.start)
 }
 
 // sendReadCarrier is sendRead with the carrier already popped (the lane
 // drain's batched acquisition pass pops its carriers up front).
 func (s *System) sendReadCarrier(r *readReq, sm int, line uint64, fillL1 bool) {
 	s.initRead(r, sm, line, fillL1)
+	s.traceRead(r)
 	s.net.Send(s.net.SMPort(sm), readReqBytes, r.start)
 }
 
 // sendWriteCarrier is sendWrite with the carrier already popped.
 func (s *System) sendWriteCarrier(r *writeReq, sm int, line uint64) {
 	s.initWrite(r, sm, line)
+	s.traceWrite(r)
 	s.net.Send(s.net.SMPort(sm), s.cfg.L1Line, r.start)
 }
 
 // l2Read handles a read request arriving at line's partition.
 func (s *System) l2Read(r *readReq) {
 	if s.l2[r.p].Access(r.line) {
+		if r.span != nil {
+			r.span.L2Hit = true
+		}
 		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), r.respond)
 		return
 	}
@@ -465,9 +556,15 @@ func (s *System) l2Read(r *readReq) {
 	case cache.Allocated:
 		s.enqueueDRAM(r.p, &r.dreq, r.retryDRAM)
 	case cache.Merged:
+		if r.span != nil {
+			r.span.L2Merged = true
+		}
 	case cache.Refused:
 		// L2 MSHRs full: retry the whole L2 access later. The L1-side MSHR
 		// entry stays allocated meanwhile, so the SM sees a longer miss.
+		if r.span != nil {
+			r.span.Retries++
+		}
 		s.wheel.ScheduleAfter(retryDelay, r.retryL2)
 	}
 }
@@ -476,6 +573,9 @@ func (s *System) l2Read(r *readReq) {
 // updates in place; a miss forwards to DRAM without allocating.
 func (s *System) l2Write(r *writeReq) {
 	if s.l2[r.p].Access(r.line) {
+		if r.span != nil {
+			r.span.L2Hit = true
+		}
 		s.wheel.ScheduleAfter(int64(s.cfg.L2HitLatency), r.release)
 		return
 	}
@@ -486,8 +586,14 @@ func (s *System) l2Write(r *writeReq) {
 // full queue via the caller's pre-bound retry event.
 func (s *System) enqueueDRAM(p int, r *dram.Request, retry timing.Event) {
 	if !s.chans[p].Enqueue(r) {
+		if r.Span != nil {
+			r.Span.Retries++
+		}
 		s.wheel.ScheduleAfter(retryDelay, retry)
 		return
+	}
+	if r.Span != nil {
+		r.Span.DRAMq = s.wheel.Now()
 	}
 	s.dramQueued++
 	s.refreshHorizon(p)
